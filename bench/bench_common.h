@@ -1,0 +1,234 @@
+// Shared harness for the table/figure reproduction benches.
+//
+// Maps the paper's experimental grid onto this host:
+//
+//   * Datasets: synthetic workloads with Table 1's dimensions, scaled by
+//     SLIDE_BENCH_SCALE (default keeps every bench under ~a minute).  The
+//     LSH parameters scale with the label space (the paper's K=6/L=400 on
+//     670K labels would be all overhead on a 10K-label benchmark).
+//   * Hardware tiers: the paper's CLX (48-core) and CPX (112-core + BF16)
+//     servers become half-threads and full-threads tiers on this machine;
+//     the CPX tier additionally enables BF16, exactly as the paper's
+//     "Optimized SLIDE CPX" does.
+//   * TF full-softmax: our dense baseline (see baseline/dense_network.h).
+//   * TF on V100: modeled from the dense baseline via the paper's own
+//     published TF-V100 : TF-CLX ratios; always printed as "(modeled)".
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/dense_network.h"
+#include "core/network.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "data/text_corpus.h"
+#include "kernels/kernels.h"
+#include "naive/naive_trainer.h"
+#include "threading/thread_pool.h"
+
+namespace slide::bench {
+
+inline double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double x = std::atof(v);
+    if (x > 0) return x;
+  }
+  return fallback;
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long x = std::atol(v);
+    if (x > 0) return static_cast<std::size_t>(x);
+  }
+  return fallback;
+}
+
+// One paper workload instantiated at bench scale.
+struct Workload {
+  baseline::PaperDataset id = baseline::PaperDataset::Amazon670k;
+  std::string name;
+  data::Dataset train{1, 1};
+  data::Dataset test{1, 1};
+  std::size_t hidden_dim;
+  std::size_t batch_size;
+  LshLayerConfig lsh;
+  float lr;
+};
+
+// Scale factors tuned so each dataset contributes comparable bench time.
+inline double bench_scale() { return env_double("SLIDE_BENCH_SCALE", 1.0); }
+
+// size_multiplier scales only the number of examples (not the dimensions):
+// the memory-ablation bench uses it to push the batch working set past the
+// last-level cache, where Section 4.1's fragmentation penalty lives.
+inline Workload make_workload(baseline::PaperDataset id, double size_multiplier = 1.0) {
+  const double s = bench_scale();
+  const auto cap = [size_multiplier](std::size_t base) {
+    return static_cast<std::size_t>(static_cast<double>(base) * size_multiplier);
+  };
+  Workload w;
+  w.id = id;
+  w.name = baseline::paper_dataset_name(id);
+  // The paper trains with lr=1e-4 for hundreds of thousands of batches; the
+  // scaled runs see ~2 orders of magnitude fewer updates, so the learning
+  // rate is raised per workload to keep Figure 6's "accuracy improves over
+  // wall-clock time" shape visible (EXPERIMENTS.md documents this).
+  w.lr = 1e-3f;
+
+  switch (id) {
+    case baseline::PaperDataset::Amazon670k: {
+      auto cfg = data::amazon670k_like(0.02 * s);
+      cfg.num_train = cap(std::min<std::size_t>(cfg.num_train, 12000));
+      cfg.num_test = std::min<std::size_t>(cfg.num_test, 4000);
+      auto [train, test] = data::make_xc_datasets(cfg);
+      w.train = std::move(train);
+      w.test = std::move(test);
+      w.hidden_dim = 128;
+      w.batch_size = 1024;  // the paper's large-batch setting (Section 5.3)
+      w.lr = 3e-3f;
+      w.lsh.kind = HashKind::Dwta;
+      w.lsh.k = 5;   // paper: K=6 at 670K labels; scaled with the label space
+      w.lsh.l = 50;  // paper: L=400
+      break;
+    }
+    case baseline::PaperDataset::Wiki325k: {
+      auto cfg = data::wiki325k_like(0.02 * s);
+      cfg.num_train = cap(std::min<std::size_t>(cfg.num_train, 10000));
+      cfg.num_test = std::min<std::size_t>(cfg.num_test, 4000);
+      auto [train, test] = data::make_xc_datasets(cfg);
+      w.train = std::move(train);
+      w.test = std::move(test);
+      w.hidden_dim = 128;
+      w.batch_size = 256;
+      w.lr = 3e-3f;
+      w.lsh.kind = HashKind::Dwta;
+      w.lsh.k = 5;   // paper: K=5
+      w.lsh.l = 50;  // paper: L=350
+      break;
+    }
+    case baseline::PaperDataset::Text8: {
+      data::CorpusConfig cfg;
+      cfg.vocab_size = std::max<std::size_t>(2000, static_cast<std::size_t>(253855 * 0.02 * s));
+      cfg.num_tokens = 25 * cfg.vocab_size;
+      cfg.num_topics = std::max<std::size_t>(16, cfg.vocab_size / 100);
+      cfg.window = 2;
+      cfg.seed = 253;
+      auto [train, test] = data::make_skipgram_datasets(cfg, 0.8);
+      w.train = std::move(train);
+      w.test = std::move(test);
+      w.hidden_dim = 200;  // the paper's word2vec hidden size
+      w.batch_size = 512;
+      w.lr = 3e-3f;
+      w.lsh.kind = HashKind::SimHash;
+      w.lsh.k = 9;   // paper: K=9
+      w.lsh.l = 50;  // paper: L=50
+      break;
+    }
+  }
+  w.lsh.bucket_capacity = 128;
+  // A healthy negative-sample floor stabilizes the sampled softmax's
+  // normalizer estimate (full-layer argmax quality depends on it).
+  w.lsh.min_active = std::max<std::size_t>(64, w.train.label_dim() / 32);
+  w.lsh.max_active = std::max<std::size_t>(512, w.train.label_dim() / 8);
+  w.lsh.rebuild_interval = 8;
+  w.lsh.rebuild_growth = 1.5;
+  return w;
+}
+
+// Network configuration for a workload: the paper's MLP, with a *linear*
+// hidden layer for the word2vec workload (standard skip-gram projection).
+inline NetworkConfig workload_network(const Workload& w, Precision precision) {
+  NetworkConfig cfg = make_slide_mlp(w.train.feature_dim(), w.hidden_dim,
+                                     w.train.label_dim(), w.lsh, precision, 42);
+  if (w.id == baseline::PaperDataset::Text8) {
+    cfg.layers[0].activation = Activation::Linear;
+  }
+  return cfg;
+}
+
+// Hardware tiers standing in for the paper's two servers.
+inline unsigned cpx_threads() { return ThreadPool::default_thread_count(); }
+inline unsigned clx_threads() { return std::max(1u, cpx_threads() / 2); }
+
+struct SystemResult {
+  std::string system;
+  double avg_epoch_seconds = 0.0;
+  double p_at_1 = 0.0;
+  bool modeled = false;
+  std::vector<EpochRecord> history;
+};
+
+inline TrainerConfig trainer_config(const Workload& w, std::size_t epochs) {
+  TrainerConfig tcfg;
+  tcfg.batch_size = w.batch_size;
+  tcfg.adam.lr = w.lr;
+  tcfg.epochs = epochs;
+  tcfg.eval_max_examples = 1500;
+  return tcfg;
+}
+
+inline SystemResult run_dense(const Workload& w, unsigned threads, std::size_t epochs,
+                              const std::string& label) {
+  set_global_pool_threads(threads);
+  NetworkConfig cfg = workload_network(w, Precision::Fp32);
+  cfg.layers.back().lsh = LshLayerConfig{};  // full softmax: no hashing
+  Network net(cfg);
+  Trainer trainer(net, trainer_config(w, epochs));
+  const TrainResult r = trainer.train(w.train, w.test);
+  return {label, r.avg_epoch_seconds, r.final_p_at_1, false, r.history};
+}
+
+inline SystemResult run_naive(const Workload& w, unsigned threads, std::size_t epochs,
+                              const std::string& label) {
+  set_global_pool_threads(threads);
+  naive::NaiveNetwork net(workload_network(w, Precision::Fp32));
+  naive::NaiveTrainer trainer(net, trainer_config(w, epochs));
+  const TrainResult r = trainer.train(w.train, w.test);
+  return {label, r.avg_epoch_seconds, r.final_p_at_1, false, r.history};
+}
+
+// Optional hooks: mutate the trainer config (e.g. shuffle policy) and/or the
+// network config (e.g. LSH maintenance mode) before the run.
+inline SystemResult run_optimized(
+    const Workload& w, unsigned threads, Precision precision, std::size_t epochs,
+    const std::string& label,
+    const std::function<void(TrainerConfig&)>& mutate_trainer = {},
+    const std::function<void(NetworkConfig&)>& mutate_network = {}) {
+  set_global_pool_threads(threads);
+  NetworkConfig ncfg = workload_network(w, precision);
+  if (mutate_network) mutate_network(ncfg);
+  Network net(ncfg);
+  TrainerConfig tcfg = trainer_config(w, epochs);
+  if (mutate_trainer) mutate_trainer(tcfg);
+  Trainer trainer(net, tcfg);
+  const TrainResult r = trainer.train(w.train, w.test);
+  return {label, r.avg_epoch_seconds, r.final_p_at_1, false, r.history};
+}
+
+// The BF16 mode the paper found best per dataset for "Optimized SLIDE CPX"
+// (Table 3: both for Amazon/Wiki, activations-only for Text8).
+inline Precision best_cpx_precision(baseline::PaperDataset id) {
+  return id == baseline::PaperDataset::Text8 ? Precision::Bf16Activations
+                                             : Precision::Bf16All;
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  std::printf("scale=%.4g  threads: CLX-tier=%u CPX-tier=%u  isa=%s\n", bench_scale(),
+              clx_threads(), cpx_threads(), kernels::active_isa_name());
+  print_rule();
+}
+
+}  // namespace slide::bench

@@ -1,0 +1,85 @@
+// Figure 6 reproduction.
+//
+// Top row: time-vs-P@1 convergence series for every system on every dataset,
+// emitted as CSV (system, epoch, cumulative_seconds, p_at_1) ready for a
+// log-x plot like the paper's.
+// Bottom row: the bar-chart summary — average training time per epoch and
+// final P@1 per system.
+//
+// The paper's claim to check: the Optimized SLIDE curves sit left of (reach
+// any accuracy level before) Naive SLIDE, which sits left of the dense
+// full-softmax baselines, while all systems converge to similar P@1.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace slide::bench {
+namespace {
+
+void run_dataset(baseline::PaperDataset id, std::size_t epochs) {
+  const Workload w = make_workload(id);
+  std::printf("\n=== %s ===\n", w.name.c_str());
+
+  std::vector<SystemResult> rows;
+  rows.push_back(run_dense(w, clx_threads(), epochs, "TF FullSoftmax CLX"));
+  rows.push_back(run_dense(w, cpx_threads(), epochs, "TF FullSoftmax CPX"));
+  rows.push_back(run_naive(w, clx_threads(), epochs, "Naive SLIDE CLX"));
+  rows.push_back(run_naive(w, cpx_threads(), epochs, "Naive SLIDE CPX"));
+  rows.push_back(
+      run_optimized(w, clx_threads(), Precision::Fp32, epochs, "Optimized SLIDE CLX"));
+  rows.push_back(run_optimized(w, cpx_threads(), best_cpx_precision(id), epochs,
+                               "Optimized SLIDE CPX"));
+
+  // Modeled V100 series: dense-CLX accuracy trajectory on a rescaled clock.
+  {
+    SystemResult v100 = rows[0];
+    v100.system = "TF FullSoftmax V100 (modeled)";
+    v100.modeled = true;
+    const double ratio =
+        baseline::modeled_v100_epoch_seconds(1.0, id);  // v100 time per CLX second
+    v100.avg_epoch_seconds *= ratio;
+    for (auto& rec : v100.history) {
+      rec.train_seconds *= ratio;
+      rec.cumulative_seconds *= ratio;
+    }
+    rows.insert(rows.begin(), v100);
+  }
+
+  std::printf("--- convergence series (CSV: system,epoch,cumulative_seconds,p_at_1) ---\n");
+  for (const auto& r : rows) {
+    for (const auto& rec : r.history) {
+      std::printf("%s,%zu,%.4f,%.4f\n", r.system.c_str(), rec.epoch,
+                  rec.cumulative_seconds, rec.p_at_1);
+    }
+  }
+
+  std::printf("--- bar chart summary (avg epoch time, final P@1) ---\n");
+  std::printf("%-32s %16s %10s\n", "system", "epoch time (s)", "P@1");
+  for (const auto& r : rows) {
+    std::printf("%-32s %16.3f %10.4f%s\n", r.system.c_str(), r.avg_epoch_seconds, r.p_at_1,
+                r.modeled ? "  (modeled)" : "");
+  }
+
+  // The headline shape checks from the paper, asserted softly.
+  const double opt_cpx = rows.back().avg_epoch_seconds;
+  const double naive_cpx = rows[4].avg_epoch_seconds;
+  const double dense_cpx = rows[2].avg_epoch_seconds;
+  std::printf("shape check: opt(%0.3fs) < naive(%0.3fs): %s; opt < dense(%0.3fs): %s\n",
+              opt_cpx, naive_cpx, opt_cpx < naive_cpx ? "OK" : "VIOLATED", dense_cpx,
+              opt_cpx < dense_cpx ? "OK" : "VIOLATED");
+}
+
+}  // namespace
+}  // namespace slide::bench
+
+int main() {
+  using namespace slide::bench;
+  print_header("Figure 6: convergence (P@1 vs wall-clock) and per-epoch bar charts");
+  const std::size_t epochs = env_size("SLIDE_BENCH_EPOCHS", 4);
+  run_dataset(slide::baseline::PaperDataset::Amazon670k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Wiki325k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Text8, epochs);
+  slide::set_global_pool_threads(slide::ThreadPool::default_thread_count());
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Kernel micro-benchmarks (paper Figs. 2-5, Section 4.2-4.4).
+//
+// Every kernel is measured on both backends at the paper's operating points:
+// 128/200-dim dense dots (hidden layer width), ~75-nnz sparse gathers
+// (Amazon-670K's average example), full-row ADAM updates, and DWTA/SimHash
+// query costs.  The scalar-vs-avx512 ratio here is the per-kernel view of
+// Table 4's end-to-end numbers.
+#include <benchmark/benchmark.h>
+
+#include <cfloat>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "lsh/dwta.h"
+#include "lsh/simhash.h"
+#include "util/aligned.h"
+#include "util/rng.h"
+
+namespace slide {
+namespace {
+
+using kernels::Isa;
+
+bool select_isa(benchmark::State& state, Isa isa) {
+  if (isa == Isa::Avx512 && !kernels::avx512_available()) {
+    state.SkipWithError("AVX-512 unavailable");
+    return false;
+  }
+  kernels::set_isa(isa);
+  return true;
+}
+
+AlignedVector<float> random_vec(std::size_t n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  AlignedVector<float> v(n);
+  for (auto& x : v) x = rng.normal_float();
+  return v;
+}
+
+void BM_DotF32(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 1), b = random_vec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::dot_f32(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 * sizeof(float));
+}
+BENCHMARK(BM_DotF32)
+    ->ArgsProduct({{128, 200, 1024, 16384}, {0, 1}})
+    ->ArgNames({"n", "isa"});
+
+void BM_DotBf16(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a32 = random_vec(n, 3), b32 = random_vec(n, 4);
+  AlignedVector<bf16> a(n), b(n);
+  kernels::fp32_to_bf16(a32.data(), a.data(), n);
+  kernels::fp32_to_bf16(b32.data(), b.data(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::dot_bf16_bf16(a.data(), b.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 2 * sizeof(bf16));
+}
+BENCHMARK(BM_DotBf16)->ArgsProduct({{128, 1024, 16384}, {0, 1}})->ArgNames({"n", "isa"});
+
+void BM_SparseDot(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t nnz = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 135909;  // Amazon-670K feature space
+  const auto w = random_vec(dim, 5);
+  Rng rng(6);
+  std::vector<std::uint32_t> idx(nnz);
+  for (auto& i : idx) i = static_cast<std::uint32_t>(rng.uniform_u64(dim));
+  const auto val = random_vec(nnz, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::sparse_dot_f32(idx.data(), val.data(), nnz, w.data()));
+  }
+}
+BENCHMARK(BM_SparseDot)->ArgsProduct({{16, 75, 256}, {0, 1}})->ArgNames({"nnz", "isa"});
+
+void BM_DotRows(benchmark::State& state) {
+  // The batched form of Algorithm 1: one activation vector against many
+  // neuron rows (4-row blocking amortizes the x loads on the AVX backend).
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = 128;
+  const std::size_t nrows = static_cast<std::size_t>(state.range(0));
+  const auto w = random_vec(4096 * n, 20);
+  const auto x = random_vec(n, 21);
+  Rng rng(22);
+  std::vector<std::uint32_t> rows(nrows);
+  for (auto& r : rows) r = static_cast<std::uint32_t>(rng.uniform_u64(4096));
+  std::vector<float> out(nrows);
+  for (auto _ : state) {
+    kernels::dot_rows_f32(w.data(), n, rows.data(), nrows, x.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nrows);
+}
+BENCHMARK(BM_DotRows)->ArgsProduct({{64, 1024}, {0, 1}})->ArgNames({"rows", "isa"});
+
+void BM_Axpy(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 8);
+  auto y = random_vec(n, 9);
+  for (auto _ : state) {
+    kernels::axpy_f32(0.01f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Axpy)->ArgsProduct({{128, 1024}, {0, 1}})->ArgNames({"n", "isa"});
+
+void BM_AdamStep(benchmark::State& state) {
+  // Fig. 3: vectorized ADAM over one contiguous weight row.
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto w = random_vec(n, 10), m = random_vec(n, 11), v = random_vec(n, 12);
+  for (auto& x : v) x = x * x;  // second moment must be non-negative
+  auto g = random_vec(n, 13);
+  for (auto _ : state) {
+    kernels::adam_step_f32(w.data(), m.data(), v.data(), g.data(), n, 1e-4f, 0.9f, 0.999f,
+                           1e-8f, 1.2f, 1.1f);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_AdamStep)->ArgsProduct({{128, 4096, 65536}, {0, 1}})->ArgNames({"n", "isa"});
+
+void BM_Softmax(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_vec(n, 14);
+  AlignedVector<float> x(n);
+  for (auto _ : state) {
+    std::copy(src.begin(), src.end(), x.begin());
+    kernels::softmax_f32(x.data(), n);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Softmax)->ArgsProduct({{256, 4096}, {0, 1}})->ArgNames({"n", "isa"});
+
+void BM_Bf16Convert(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_vec(n, 15);
+  AlignedVector<bf16> dst(n);
+  for (auto _ : state) {
+    kernels::fp32_to_bf16(src.data(), dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * sizeof(float));
+}
+BENCHMARK(BM_Bf16Convert)->ArgsProduct({{1024, 65536}, {0, 1}})->ArgNames({"n", "isa"});
+
+void BM_DwtaHashDense(benchmark::State& state) {
+  // Section 4.3.3: one DWTA query over a hidden activation vector, at the
+  // paper's Amazon-670K configuration (K=6, L=400 -> 2400 bins).
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const lsh::DwtaHash h(dim, 6, 400, 99);
+  const auto x = random_vec(dim, 16);
+  std::vector<std::uint32_t> out(h.num_tables());
+  for (auto _ : state) {
+    h.hash_dense(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DwtaHashDense)->ArgsProduct({{128, 200}, {0, 1}})->ArgNames({"dim", "isa"});
+
+void BM_SimHashDense(benchmark::State& state) {
+  // Text8 configuration: K=9, L=50 over a 200-dim hidden activation.
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const lsh::SimHash h(dim, 9, 50, 99);
+  const auto x = random_vec(dim, 17);
+  std::vector<std::uint32_t> out(h.num_tables());
+  for (auto _ : state) {
+    h.hash_dense(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SimHashDense)->ArgsProduct({{200}, {0, 1}})->ArgNames({"dim", "isa"});
+
+void BM_WtaWinners(benchmark::State& state) {
+  if (!select_isa(state, static_cast<Isa>(state.range(1)))) return;
+  const std::size_t bins = static_cast<std::size_t>(state.range(0));
+  auto values = random_vec(bins * 8, 18);
+  std::vector<std::uint8_t> winners(bins);
+  for (auto _ : state) {
+    kernels::wta_winners_f32(values.data(), bins, winners.data());
+    benchmark::DoNotOptimize(winners.data());
+  }
+}
+BENCHMARK(BM_WtaWinners)->ArgsProduct({{2400}, {0, 1}})->ArgNames({"bins", "isa"});
+
+}  // namespace
+}  // namespace slide
+
+BENCHMARK_MAIN();

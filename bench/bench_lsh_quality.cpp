@@ -1,0 +1,112 @@
+// LSH design-space bench (supports the design decisions in DESIGN.md §6 and
+// the paper's hyper-parameter choices in §5.3).
+//
+// For a trained-ish output layer, measures for several (K, L) settings and
+// both bucket policies:
+//   * query cost (hash + probe time per input),
+//   * active-set size (fraction of neurons touched), and
+//   * recall@active of the true top-32 neurons (would full forward agree?).
+//
+// The paper's K/L trade-off appears directly: larger K -> smaller, purer
+// buckets (lower cost, lower recall); larger L -> more tables (higher cost,
+// higher recall).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/metrics.h"
+#include "util/timer.h"
+
+namespace slide::bench {
+namespace {
+
+struct QualityPoint {
+  int k, l;
+  lsh::BucketPolicy policy;
+  double micros_per_query;
+  double avg_active_fraction;
+  double recall_at_active;
+};
+
+QualityPoint measure(const Workload& w, int k, int l, lsh::BucketPolicy policy) {
+  LshLayerConfig lsh = w.lsh;
+  lsh.k = k;
+  lsh.l = l;
+  lsh.bucket_policy = policy;
+  lsh.min_active = 0;  // pure bucket unions: measure the tables themselves
+
+  Network net(make_slide_mlp(w.train.feature_dim(), w.hidden_dim, w.train.label_dim(), lsh,
+                             Precision::Fp32, 42));
+  // Light training so weights (and tables) are informative, not random.
+  TrainerConfig tcfg = trainer_config(w, 1);
+  Trainer trainer(net, tcfg);
+  trainer.train_one_epoch(w.train);
+  net.rebuild_hash_tables(&global_pool());
+
+  Workspace ws = net.make_workspace(7);
+  const std::size_t probes = std::min<std::size_t>(w.test.size(), 200);
+
+  double active_total = 0;
+  double recall_total = 0;
+  Timer timer;
+  for (std::size_t i = 0; i < probes; ++i) {
+    net.forward(w.test.features(i), {}, ws, /*train=*/false);
+    active_total += static_cast<double>(ws.layers.back().active.size());
+  }
+  const double micros = timer.seconds() * 1e6 / static_cast<double>(probes);
+
+  std::vector<std::uint32_t> truth;
+  for (std::size_t i = 0; i < probes; ++i) {
+    net.predict_topk(w.test.features(i), 32, ws, truth);  // dense ground truth
+    net.forward(w.test.features(i), {}, ws, false);
+    const auto& active = ws.layers.back().active;
+    std::size_t hit = 0;
+    for (const auto t : truth) {
+      hit += std::find(active.begin(), active.end(), t) != active.end();
+    }
+    recall_total += static_cast<double>(hit) / static_cast<double>(truth.size());
+  }
+
+  QualityPoint p;
+  p.k = k;
+  p.l = l;
+  p.policy = policy;
+  p.micros_per_query = micros;
+  p.avg_active_fraction =
+      active_total / static_cast<double>(probes) / static_cast<double>(w.train.label_dim());
+  p.recall_at_active = recall_total / static_cast<double>(probes);
+  return p;
+}
+
+}  // namespace
+}  // namespace slide::bench
+
+int main() {
+  using namespace slide::bench;
+  using slide::lsh::BucketPolicy;
+  print_header("LSH design space: query cost vs active-set size vs top-32 recall");
+
+  const Workload w = make_workload(slide::baseline::PaperDataset::Amazon670k);
+  std::printf("workload: %s, labels=%zu\n\n", w.name.c_str(), w.train.label_dim());
+  std::printf("%4s %4s %10s %14s %14s %14s\n", "K", "L", "policy", "us/query",
+              "active frac", "recall@32");
+
+  for (const int k : {4, 5, 6}) {
+    for (const int l : {10, 50}) {
+      const QualityPoint p = measure(w, k, l, BucketPolicy::Reservoir);
+      std::printf("%4d %4d %10s %14.2f %14.4f %14.3f\n", p.k, p.l, "reservoir",
+                  p.micros_per_query, p.avg_active_fraction, p.recall_at_active);
+    }
+  }
+  const QualityPoint fifo = measure(w, 5, 50, BucketPolicy::Fifo);
+  std::printf("%4d %4d %10s %14.2f %14.4f %14.3f\n", fifo.k, fifo.l, "fifo",
+              fifo.micros_per_query, fifo.avg_active_fraction, fifo.recall_at_active);
+
+  std::printf(
+      "\nExpected shape (paper §5.3): K up => fewer candidates per table (purer,\n"
+      "cheaper, lower recall); L up => more tables (more candidates, higher recall,\n"
+      "higher cost).  Reservoir vs FIFO should be comparable on stationary data.\n");
+  slide::set_global_pool_threads(slide::ThreadPool::default_thread_count());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Table 2 reproduction: average wall-clock training time per epoch for every
+// system on every dataset, plus the speedup ratios the paper reports.
+//
+// System mapping (DESIGN.md Section 5):
+//   TF FullSoftmax V100  -> modeled from the dense CPU baseline via the
+//                           paper's own TF-V100:TF-CLX ratios (marked *)
+//   TF FullSoftmax CLX   -> dense full-softmax baseline, half threads
+//   TF FullSoftmax CPX   -> dense full-softmax baseline, full threads
+//   Naive SLIDE CLX/CPX  -> original-design engine (fragmented memory,
+//                           scalar math), half/full threads
+//   Opt SLIDE CLX        -> this library, fp32, half threads
+//   Opt SLIDE CPX        -> this library, BF16 (paper's best mode per
+//                           dataset), full threads
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace slide::bench {
+namespace {
+
+struct PaperSpeedups {
+  double opt_clx_vs_v100, opt_cpx_vs_v100;
+  double opt_clx_vs_tf, opt_cpx_vs_tf;
+  double opt_clx_vs_naive, opt_cpx_vs_naive;
+};
+
+PaperSpeedups paper_numbers(baseline::PaperDataset id) {
+  switch (id) {
+    case baseline::PaperDataset::Amazon670k: return {3.5, 7.8, 4.0, 7.9, 4.4, 7.2};
+    case baseline::PaperDataset::Wiki325k: return {2.04, 4.19, 2.55, 5.2, 2.0, 3.0};
+    case baseline::PaperDataset::Text8: return {9.2, 15.5, 11.6, 17.36, 3.5, 3.0};
+  }
+  return {};
+}
+
+void run_dataset(baseline::PaperDataset id, std::size_t epochs) {
+  const Workload w = make_workload(id);
+  std::printf("\n=== %s: train=%zu test=%zu labels=%zu ===\n", w.name.c_str(),
+              w.train.size(), w.test.size(), w.train.label_dim());
+
+  std::vector<SystemResult> rows;
+  const SystemResult tf_clx = run_dense(w, clx_threads(), epochs, "TF FullSoftmax CLX");
+  SystemResult v100;
+  v100.system = "TF FullSoftmax V100 *";
+  v100.avg_epoch_seconds = baseline::modeled_v100_epoch_seconds(tf_clx.avg_epoch_seconds, id);
+  v100.p_at_1 = tf_clx.p_at_1;
+  v100.modeled = true;
+  rows.push_back(v100);
+  rows.push_back(tf_clx);
+  rows.push_back(run_dense(w, cpx_threads(), epochs, "TF FullSoftmax CPX"));
+  rows.push_back(run_naive(w, clx_threads(), epochs, "Naive SLIDE CLX"));
+  rows.push_back(run_naive(w, cpx_threads(), epochs, "Naive SLIDE CPX"));
+  rows.push_back(
+      run_optimized(w, clx_threads(), Precision::Fp32, epochs, "Optimized SLIDE CLX"));
+  rows.push_back(run_optimized(w, cpx_threads(), best_cpx_precision(id), epochs,
+                               "Optimized SLIDE CPX"));
+
+  std::printf("%-24s %16s %10s\n", "system", "epoch time (s)", "P@1");
+  for (const auto& r : rows) {
+    std::printf("%-24s %16.3f %10.4f%s\n", r.system.c_str(), r.avg_epoch_seconds, r.p_at_1,
+                r.modeled ? "  (modeled)" : "");
+  }
+
+  const double v100_t = rows[0].avg_epoch_seconds;
+  const double tf_clx_t = rows[1].avg_epoch_seconds;
+  const double tf_cpx_t = rows[2].avg_epoch_seconds;
+  const double naive_clx_t = rows[3].avg_epoch_seconds;
+  const double naive_cpx_t = rows[4].avg_epoch_seconds;
+  const double opt_clx_t = rows[5].avg_epoch_seconds;
+  const double opt_cpx_t = rows[6].avg_epoch_seconds;
+  const PaperSpeedups paper = paper_numbers(id);
+
+  std::printf("\n%-42s %10s %10s\n", "speedup (ratio of epoch times)", "measured", "paper");
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CLX vs TF V100 (modeled)",
+              v100_t / opt_clx_t, paper.opt_clx_vs_v100);
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CPX vs TF V100 (modeled)",
+              v100_t / opt_cpx_t, paper.opt_cpx_vs_v100);
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CLX vs TF-CPU CLX",
+              tf_clx_t / opt_clx_t, paper.opt_clx_vs_tf);
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CPX vs TF-CPU CPX",
+              tf_cpx_t / opt_cpx_t, paper.opt_cpx_vs_tf);
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CLX vs Naive SLIDE CLX",
+              naive_clx_t / opt_clx_t, paper.opt_clx_vs_naive);
+  std::printf("%-42s %9.2fx %9.2fx\n", "Opt SLIDE CPX vs Naive SLIDE CPX",
+              naive_cpx_t / opt_cpx_t, paper.opt_cpx_vs_naive);
+}
+
+}  // namespace
+}  // namespace slide::bench
+
+int main() {
+  using namespace slide::bench;
+  print_header(
+      "Table 2: average wall-clock training time per epoch (all systems, all datasets)");
+  const std::size_t epochs = env_size("SLIDE_BENCH_EPOCHS", 2);
+  run_dataset(slide::baseline::PaperDataset::Amazon670k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Wiki325k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Text8, epochs);
+  std::printf(
+      "\n* V100 rows are modeled from the measured dense baseline using the paper's\n"
+      "  published TF-V100:TF-CLX ratios (no GPU in this environment); all other\n"
+      "  rows are measured on this machine.  Expect shape, not absolute, agreement:\n"
+      "  the label spaces here are SLIDE_BENCH_SCALE-reduced, which shrinks the\n"
+      "  dense baseline's disadvantage relative to the paper's 670K-label runs.\n");
+  slide::set_global_pool_threads(slide::ThreadPool::default_thread_count());
+  return 0;
+}

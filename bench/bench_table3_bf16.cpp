@@ -1,0 +1,77 @@
+// Table 3 reproduction: impact of BF16 on average wall-clock time per epoch.
+//
+// Three modes on the optimized engine (full-thread "CPX" tier):
+//   1. BF16 for both activations and weights   (paper: fastest on
+//      Amazon/Wiki, slowest on Text8)
+//   2. BF16 only for activations
+//   3. Without BF16 (fp32)
+//
+// The paper's CPX has native AVX512-BF16 arithmetic; this host emulates
+// bf16 storage with fp32 arithmetic after in-register widening, so only the
+// memory-traffic half of the BF16 win is reproduced (see DESIGN.md §5).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace slide::bench {
+namespace {
+
+struct PaperRow {
+  // Paper's Table 3 entries, expressed as time relative to the dataset's
+  // fastest mode (e.g. "1.28x slower" -> 1.28).
+  double both, act_only, without;
+};
+
+PaperRow paper_numbers(baseline::PaperDataset id) {
+  switch (id) {
+    case baseline::PaperDataset::Amazon670k: return {1.0, 1.16, 1.28};
+    case baseline::PaperDataset::Wiki325k: return {1.0, 1.31, 1.39};
+    case baseline::PaperDataset::Text8: return {2.8 * 0.87, 0.87, 1.0};
+      // Text8 paper row: both = 2.8x slower than *its* baseline (no-BF16),
+      // act-only = 1.15x faster => 1/1.15 = 0.87 of no-BF16.
+  }
+  return {};
+}
+
+void run_dataset(baseline::PaperDataset id, std::size_t epochs) {
+  const Workload w = make_workload(id);
+  std::printf("\n=== %s ===\n", w.name.c_str());
+
+  const SystemResult both = run_optimized(w, cpx_threads(), Precision::Bf16All, epochs,
+                                          "BF16 weights+activations");
+  const SystemResult act = run_optimized(w, cpx_threads(), Precision::Bf16Activations,
+                                         epochs, "BF16 activations only");
+  const SystemResult fp32 =
+      run_optimized(w, cpx_threads(), Precision::Fp32, epochs, "Without BF16");
+
+  const PaperRow paper = paper_numbers(id);
+  std::printf("%-28s %14s %10s %18s %18s\n", "mode", "epoch (s)", "P@1",
+              "vs no-BF16 (meas)", "vs no-BF16 (paper)");
+  std::printf("%-28s %14.3f %10.4f %17.2fx %17.2fx\n", both.system.c_str(),
+              both.avg_epoch_seconds, both.p_at_1,
+              both.avg_epoch_seconds / fp32.avg_epoch_seconds, paper.both / paper.without);
+  std::printf("%-28s %14.3f %10.4f %17.2fx %17.2fx\n", act.system.c_str(),
+              act.avg_epoch_seconds, act.p_at_1,
+              act.avg_epoch_seconds / fp32.avg_epoch_seconds,
+              paper.act_only / paper.without);
+  std::printf("%-28s %14.3f %10.4f %17.2fx %17.2fx\n", fp32.system.c_str(),
+              fp32.avg_epoch_seconds, fp32.p_at_1, 1.0, 1.0);
+}
+
+}  // namespace
+}  // namespace slide::bench
+
+int main() {
+  using namespace slide::bench;
+  print_header("Table 3: impact of BF16 on average wall-clock time per epoch");
+  const std::size_t epochs = env_size("SLIDE_BENCH_EPOCHS", 2);
+  run_dataset(slide::baseline::PaperDataset::Amazon670k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Wiki325k, epochs);
+  run_dataset(slide::baseline::PaperDataset::Text8, epochs);
+  std::printf(
+      "\nRatios < 1 mean the BF16 mode is faster than fp32.  This host lacks native\n"
+      "AVX512-BF16 arithmetic, so BF16 gains here come from halved memory traffic\n"
+      "only; the paper's CPX additionally gains ALU throughput (see EXPERIMENTS.md).\n");
+  slide::set_global_pool_threads(slide::ThreadPool::default_thread_count());
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "baseline/dense_network.h"
+
+namespace slide::baseline {
+
+FullSoftmaxBaseline::FullSoftmaxBaseline(std::size_t input_dim, std::size_t hidden_dim,
+                                         std::size_t num_labels, const TrainerConfig& tcfg,
+                                         Precision precision, std::uint64_t seed)
+    : net_(make_dense_mlp(input_dim, hidden_dim, num_labels, precision, seed)),
+      trainer_(net_, tcfg) {}
+
+double modeled_v100_epoch_seconds(double dense_cpu_epoch_seconds, PaperDataset dataset) {
+  // Table 2 of the paper: TF-CLX relative to TF-V100.
+  switch (dataset) {
+    case PaperDataset::Amazon670k: return dense_cpu_epoch_seconds / 1.15;
+    case PaperDataset::Wiki325k: return dense_cpu_epoch_seconds / 1.25;
+    case PaperDataset::Text8: return dense_cpu_epoch_seconds / 1.27;
+  }
+  return dense_cpu_epoch_seconds;
+}
+
+const char* paper_dataset_name(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::Amazon670k: return "Amazon-670K";
+    case PaperDataset::Wiki325k: return "WikiLSH-325K";
+    case PaperDataset::Text8: return "Text8";
+  }
+  return "?";
+}
+
+}  // namespace slide::baseline

@@ -1,0 +1,65 @@
+// Minimal typed command-line flag parser for the slide_cli tool.
+//
+// Flags are declared up front with defaults and help text; parse() then
+// validates the command line against the declarations (unknown flags,
+// missing values, and bad types are hard errors with useful messages).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slide::cli {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  // Declaration API (call before parse).  `name` is used as "--name".
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  // Boolean flags take no value: present = true.
+  void add_flag(const std::string& name, const std::string& help);
+  // Required flags have no default; parse() fails if they are absent.
+  void add_required_string(const std::string& name, const std::string& help);
+
+  // Parses argv[start..argc).  Returns false and fills error() on failure.
+  bool parse(int argc, const char* const* argv, int start = 1);
+
+  const std::string& error() const { return error_; }
+  std::string help() const;
+
+  // Typed access (throws std::out_of_range for undeclared names).
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  bool was_set(const std::string& name) const;
+
+  // Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Kind { String, Int, Double, Flag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+    bool required = false;
+    bool set = false;
+  };
+
+  bool fail(const std::string& message);
+  Spec* find(const std::string& name);
+
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;  // declaration order for help()
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace slide::cli

@@ -1,0 +1,15 @@
+#include "core/adam.h"
+
+#include <cmath>
+
+namespace slide {
+
+AdamBias adam_bias_correction(const AdamConfig& cfg, std::uint64_t t) {
+  AdamBias b;
+  const auto td = static_cast<double>(t == 0 ? 1 : t);
+  b.inv_bias1 = static_cast<float>(1.0 / (1.0 - std::pow(static_cast<double>(cfg.beta1), td)));
+  b.inv_bias2 = static_cast<float>(1.0 / (1.0 - std::pow(static_cast<double>(cfg.beta2), td)));
+  return b;
+}
+
+}  // namespace slide

@@ -1,0 +1,31 @@
+// ADAM hyper-parameters and bias-correction helper (paper Section 4.3.1).
+//
+// The vectorized per-row update itself lives in the kernel backends
+// (kernels::adam_step_*); this header owns the scalar bookkeeping shared by
+// every engine (optimized, naive, dense baseline) so they optimize
+// identically.
+#pragma once
+
+#include <cstdint>
+
+namespace slide {
+
+struct AdamConfig {
+  float lr = 1e-4f;  // the paper's learning rate for all experiments
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+struct AdamBias {
+  float inv_bias1 = 1.0f;  // 1 / (1 - beta1^t)
+  float inv_bias2 = 1.0f;  // 1 / (1 - beta2^t)
+};
+
+// t is the 1-based global step count (one step per batch).  SLIDE applies a
+// single global step counter to its sparse updates (lazy-Adam style); rows
+// untouched in a batch keep stale moments, which is the standard trade-off
+// for sparse training.
+AdamBias adam_bias_correction(const AdamConfig& cfg, std::uint64_t t);
+
+}  // namespace slide

@@ -1,0 +1,34 @@
+#include "core/config.h"
+
+namespace slide {
+
+NetworkConfig make_slide_mlp(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_labels, const LshLayerConfig& output_lsh,
+                             Precision precision, std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.precision = precision;
+  cfg.seed = seed;
+
+  LayerConfig hidden;
+  hidden.dim = hidden_dim;
+  hidden.activation = Activation::ReLU;
+  cfg.layers.push_back(hidden);
+
+  LayerConfig output;
+  output.dim = num_labels;
+  output.activation = Activation::Softmax;
+  output.lsh = output_lsh;
+  cfg.layers.push_back(output);
+  return cfg;
+}
+
+NetworkConfig make_dense_mlp(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_labels, Precision precision,
+                             std::uint64_t seed) {
+  LshLayerConfig none;
+  none.kind = HashKind::None;
+  return make_slide_mlp(input_dim, hidden_dim, num_labels, none, precision, seed);
+}
+
+}  // namespace slide

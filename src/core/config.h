@@ -1,0 +1,78 @@
+// Configuration types for the optimized SLIDE engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "lsh/lsh_table.h"
+
+namespace slide {
+
+enum class Activation { ReLU, Softmax, Linear };
+
+// Paper Section 4.4 / Table 3 quantization modes.
+//   Fp32            no quantization ("Without BF16")
+//   Bf16Activations activations stored bf16, weights fp32 ("BF16 only for
+//                   activations")
+//   Bf16All         weights *and* activations stored bf16 ("BF16 for both")
+enum class Precision { Fp32, Bf16Activations, Bf16All };
+
+enum class HashKind { None, Dwta, SimHash };
+
+// Hash-table maintenance strategies (paper Section 2 describes the
+// incremental delete-and-reinsert; the SLIDE codebase — and our default —
+// rebuilds wholesale on a growing schedule).
+//   Rebuild      re-hash every neuron and reload all tables
+//   Incremental  re-hash only neurons whose weights changed since the last
+//                maintenance, and move just the entries whose bucket moved
+enum class LshMaintenance { Rebuild, Incremental };
+
+// LSH / active-set configuration for one layer (HashKind::None = dense).
+struct LshLayerConfig {
+  HashKind kind = HashKind::None;
+  int k = 6;  // hashes (DWTA) or bits (SimHash) per table
+  int l = 50;  // number of tables
+  std::uint32_t bucket_capacity = 128;
+  lsh::BucketPolicy bucket_policy = lsh::BucketPolicy::Reservoir;
+
+  // Active-set bounds per query (paper: union of bucket probes, topped up
+  // with random neurons early in training).
+  std::size_t min_active = 64;
+  std::size_t max_active = std::numeric_limits<std::size_t>::max();
+
+  // Refresh the tables every `rebuild_interval` batches, multiplying the
+  // interval by `rebuild_growth` after each refresh (SLIDE's exponential
+  // backoff: early epochs change weights quickly, later ones slowly).
+  std::size_t rebuild_interval = 64;
+  double rebuild_growth = 1.5;
+  LshMaintenance maintenance = LshMaintenance::Rebuild;
+};
+
+struct LayerConfig {
+  std::size_t dim = 0;
+  Activation activation = Activation::ReLU;
+  LshLayerConfig lsh;
+};
+
+struct NetworkConfig {
+  std::size_t input_dim = 0;
+  std::vector<LayerConfig> layers;
+  Precision precision = Precision::Fp32;
+  std::uint64_t seed = 42;
+};
+
+// The paper's architecture (Section 5.3): sparse input -> ReLU hidden layer
+// (128, or 200 for Text8) -> softmax output over the label space, with LSH
+// sampling on the output layer only.
+NetworkConfig make_slide_mlp(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_labels, const LshLayerConfig& output_lsh,
+                             Precision precision = Precision::Fp32, std::uint64_t seed = 42);
+
+// Same architecture with a dense (full softmax) output layer — the
+// "TF full-softmax" baseline stand-in (DESIGN.md Section 5).
+NetworkConfig make_dense_mlp(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_labels, Precision precision = Precision::Fp32,
+                             std::uint64_t seed = 42);
+
+}  // namespace slide

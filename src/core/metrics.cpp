@@ -1,0 +1,46 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace slide {
+
+void topk_indices(const float* scores, std::size_t n, std::size_t k,
+                  std::vector<std::uint32_t>& out) {
+  out.clear();
+  k = std::min(k, n);
+  if (k == 0) return;
+  // Small-k selection: keep a sorted (descending) window of the best k.
+  out.reserve(k);
+  const auto better = [&](std::uint32_t a, std::uint32_t b) {
+    return scores[a] > scores[b] || (scores[a] == scores[b] && a < b);
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (out.size() < k) {
+      out.push_back(i);
+      std::push_heap(out.begin(), out.end(), better);  // min-heap on "better"
+    } else if (better(i, out.front())) {
+      std::pop_heap(out.begin(), out.end(), better);
+      out.back() = i;
+      std::push_heap(out.begin(), out.end(), better);
+    }
+  }
+  // sort_heap orders by the comparator, i.e. best prediction first.
+  std::sort_heap(out.begin(), out.end(), better);
+}
+
+double precision_at_k(std::span<const std::uint32_t> topk,
+                      std::span<const std::uint32_t> labels) {
+  if (topk.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const std::uint32_t p : topk) {
+    for (const std::uint32_t l : labels) {
+      if (p == l) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(topk.size());
+}
+
+}  // namespace slide

@@ -1,0 +1,19 @@
+// Evaluation metrics: Precision@k (the paper reports P@1 throughout).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace slide {
+
+// Indices of the k largest scores, descending; ties resolve to lower index.
+void topk_indices(const float* scores, std::size_t n, std::size_t k,
+                  std::vector<std::uint32_t>& out);
+
+// Fraction of the top-k predictions that are true labels (P@k as defined in
+// extreme classification: |topk ∩ labels| / k).
+double precision_at_k(std::span<const std::uint32_t> topk,
+                      std::span<const std::uint32_t> labels);
+
+}  // namespace slide

@@ -1,0 +1,101 @@
+// The SLIDE network: sparse-input MLP whose hashed layers compute only an
+// LSH-selected active set per example (paper Sections 2 and 4).
+//
+// Threading model: Network owns the shared state (weights, gradient arenas,
+// hash tables).  Each worker thread owns a Workspace and calls
+// forward()/backward() on its own examples concurrently (HOGWILD); the
+// trainer then calls adam_step() and on_batch_end() from a single thread
+// between batches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/layer.h"
+#include "lsh/sampler.h"
+
+namespace slide {
+
+class Network;
+
+// Per-thread buffers for one example's forward/backward pass.
+class Workspace {
+ public:
+  Workspace(const Network& net, std::uint64_t seed);
+
+  struct LayerState {
+    std::vector<std::uint32_t> active;  // empty for dense layers
+    AlignedVector<float> act;           // fp32 master activations
+    AlignedVector<bf16> act16;          // bf16 mirror (Precision != Fp32)
+    AlignedVector<float> grad;          // dL/d(pre-activation), same indexing as act
+    std::vector<std::uint32_t> buckets; // one bucket index per hash table
+    AlignedVector<float> gather_scratch;
+    lsh::SamplerScratch sampler;
+
+    explicit LayerState(std::uint64_t sampler_seed) : sampler(sampler_seed) {}
+  };
+
+  std::vector<LayerState> layers;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig cfg);
+
+  const NetworkConfig& config() const { return cfg_; }
+  Precision precision() const { return cfg_.precision; }
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return layers_[i]; }
+  const Layer& layer(std::size_t i) const { return layers_[i]; }
+  std::size_t input_dim() const { return cfg_.input_dim; }
+  std::size_t output_dim() const { return layers_.back().dim(); }
+  std::size_t num_params() const;
+
+  Workspace make_workspace(std::uint64_t seed = 0) const { return Workspace(*this, seed); }
+
+  // Sparse forward pass.  In training mode the example's labels are forced
+  // into the output layer's active set (they occupy the first labels.size()
+  // slots).  Returns the cross-entropy loss against the uniform multi-hot
+  // target when `train` and labels are present, else 0.
+  // Thread-safe across distinct workspaces.
+  float forward(data::SparseVectorView x, std::span<const std::uint32_t> labels,
+                Workspace& ws, bool train);
+
+  // Backpropagates from the softmax output and accumulates gradients into
+  // the shared arenas (HOGWILD).  Must follow a forward(train=true) call on
+  // the same workspace/example.
+  void backward(data::SparseVectorView x, std::span<const std::uint32_t> labels,
+                Workspace& ws);
+
+  // One optimizer step over all dirty rows (call once per batch).
+  void adam_step(const AdamConfig& cfg, ThreadPool* pool);
+
+  // Batch bookkeeping: advances every hashed layer's rebuild schedule.
+  void on_batch_end(ThreadPool* pool);
+  // Forces an immediate rebuild of all hash tables.
+  void rebuild_hash_tables(ThreadPool* pool);
+
+  // Full (dense) inference: evaluates every output neuron.  Used for P@k.
+  std::uint32_t predict_top1(data::SparseVectorView x, Workspace& ws) const;
+  void predict_topk(data::SparseVectorView x, std::size_t k, Workspace& ws,
+                    std::vector<std::uint32_t>& out) const;
+
+  // LSH-sampled inference: queries the hash tables instead of scanning all
+  // output neurons (sublinear, slightly lossy).  Returns the highest-logit
+  // neuron among the sampled active set.
+  std::uint32_t predict_top1_sampled(data::SparseVectorView x, Workspace& ws);
+
+  std::uint64_t adam_steps() const { return adam_t_; }
+  void set_adam_steps(std::uint64_t t) { adam_t_ = t; }
+
+ private:
+  // Shared by forward() and the dense predict path.
+  void forward_dense_all(data::SparseVectorView x, Workspace& ws) const;
+
+  NetworkConfig cfg_;
+  std::vector<Layer> layers_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace slide

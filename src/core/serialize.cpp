@@ -1,0 +1,152 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "threading/thread_pool.h"
+
+namespace slide {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534C444Eu;  // "SLDN"
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated input");
+  return v;
+}
+
+template <typename T>
+void write_array(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_array(std::istream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("checkpoint: truncated array");
+}
+
+void write_layer_config(std::ostream& out, const LayerConfig& cfg) {
+  write_pod<std::uint64_t>(out, cfg.dim);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.activation));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.kind));
+  write_pod<std::int32_t>(out, cfg.lsh.k);
+  write_pod<std::int32_t>(out, cfg.lsh.l);
+  write_pod<std::uint32_t>(out, cfg.lsh.bucket_capacity);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.bucket_policy));
+  write_pod<std::uint64_t>(out, cfg.lsh.min_active);
+  write_pod<std::uint64_t>(out, cfg.lsh.max_active);
+  write_pod<std::uint64_t>(out, cfg.lsh.rebuild_interval);
+  write_pod<double>(out, cfg.lsh.rebuild_growth);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.maintenance));
+}
+
+LayerConfig read_layer_config(std::istream& in) {
+  LayerConfig cfg;
+  cfg.dim = read_pod<std::uint64_t>(in);
+  cfg.activation = static_cast<Activation>(read_pod<std::uint8_t>(in));
+  cfg.lsh.kind = static_cast<HashKind>(read_pod<std::uint8_t>(in));
+  cfg.lsh.k = read_pod<std::int32_t>(in);
+  cfg.lsh.l = read_pod<std::int32_t>(in);
+  cfg.lsh.bucket_capacity = read_pod<std::uint32_t>(in);
+  cfg.lsh.bucket_policy = static_cast<lsh::BucketPolicy>(read_pod<std::uint8_t>(in));
+  cfg.lsh.min_active = read_pod<std::uint64_t>(in);
+  cfg.lsh.max_active = read_pod<std::uint64_t>(in);
+  cfg.lsh.rebuild_interval = read_pod<std::uint64_t>(in);
+  cfg.lsh.rebuild_growth = read_pod<double>(in);
+  cfg.lsh.maintenance = static_cast<LshMaintenance>(read_pod<std::uint8_t>(in));
+  return cfg;
+}
+
+}  // namespace
+
+void save_network(const Network& net, std::ostream& out, bool include_moments) {
+  const NetworkConfig& cfg = net.config();
+  write_pod(out, kMagic);
+  write_pod(out, kCheckpointVersion);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.precision));
+  write_pod<std::uint64_t>(out, cfg.input_dim);
+  write_pod<std::uint64_t>(out, cfg.seed);
+  write_pod<std::uint64_t>(out, net.adam_steps());
+  write_pod<std::uint64_t>(out, cfg.layers.size());
+  for (const auto& lc : cfg.layers) write_layer_config(out, lc);
+  write_pod<std::uint8_t>(out, include_moments ? 1 : 0);
+
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& L = net.layer(i);
+    if (cfg.precision == Precision::Bf16All) {
+      write_array(out, L.weights_bf16().data(), L.weights_bf16().size());
+    } else {
+      write_array(out, L.weights_f32().data(), L.weights_f32().size());
+    }
+    write_array(out, L.biases().data(), L.biases().size());
+    if (include_moments) {
+      write_array(out, L.moment1().data(), L.moment1().size());
+      write_array(out, L.moment2().data(), L.moment2().size());
+      write_array(out, L.bias_moment1().data(), L.bias_moment1().size());
+      write_array(out, L.bias_moment2().data(), L.bias_moment2().size());
+    }
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+Network load_network(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  NetworkConfig cfg;
+  cfg.precision = static_cast<Precision>(read_pod<std::uint8_t>(in));
+  cfg.input_dim = read_pod<std::uint64_t>(in);
+  cfg.seed = read_pod<std::uint64_t>(in);
+  const std::uint64_t adam_t = read_pod<std::uint64_t>(in);
+  const std::uint64_t num_layers = read_pod<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < num_layers; ++i) cfg.layers.push_back(read_layer_config(in));
+  const bool has_moments = read_pod<std::uint8_t>(in) != 0;
+
+  Network net(cfg);
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    Layer& L = net.layer(i);
+    if (cfg.precision == Precision::Bf16All) {
+      read_array(in, L.weights_bf16().data(), L.weights_bf16().size());
+    } else {
+      read_array(in, L.weights_f32().data(), L.weights_f32().size());
+    }
+    read_array(in, L.biases().data(), L.biases().size());
+    if (has_moments) {
+      read_array(in, L.moment1().data(), L.moment1().size());
+      read_array(in, L.moment2().data(), L.moment2().size());
+      read_array(in, L.bias_moment1().data(), L.bias_moment1().size());
+      read_array(in, L.bias_moment2().data(), L.bias_moment2().size());
+    }
+  }
+  net.set_adam_steps(adam_t);
+  // Tables are a function of the (restored) weights.
+  net.rebuild_hash_tables(&global_pool());
+  return net;
+}
+
+void save_network_file(const Network& net, const std::string& path, bool include_moments) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open for writing: " + path);
+  save_network(net, out, include_moments);
+}
+
+Network load_network_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open: " + path);
+  return load_network(in);
+}
+
+}  // namespace slide

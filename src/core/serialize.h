@@ -1,0 +1,24 @@
+// Binary checkpointing for Network (weights, biases, optimizer moments and
+// the full configuration).  Hash tables are not stored — they are a pure
+// function of the weights and are rebuilt on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/network.h"
+
+namespace slide {
+
+// Format version written by save_network; load_network rejects others.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+void save_network(const Network& net, std::ostream& out, bool include_moments = true);
+void save_network_file(const Network& net, const std::string& path,
+                       bool include_moments = true);
+
+// Throws std::runtime_error on malformed or truncated input.
+Network load_network(std::istream& in);
+Network load_network_file(const std::string& path);
+
+}  // namespace slide

@@ -1,0 +1,79 @@
+// Training loop: HOGWILD batch parallelism + per-batch sparse ADAM +
+// hash-table rebuild schedule (paper Sections 2, 4.1.1, 4.3.1).
+//
+// One Trainer drives one Network.  Within a batch, examples fan out over the
+// global thread pool (dynamic chunks — sparse examples have skewed cost) and
+// race their gradient accumulations; the optimizer step and the rebuild
+// bookkeeping run between batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.h"
+#include "data/dataset.h"
+
+namespace slide {
+
+// Epoch-ordering policies.  `Batches` shuffles the order of batches while
+// keeping each batch a contiguous slice of the (coalesced) dataset — the
+// cache-friendly choice Section 4.1's analysis favors.  `Examples` draws a
+// full random permutation, which destroys the sequential-prefetch pattern;
+// the memory-ablation bench uses it to demonstrate exactly that.
+enum class ShuffleMode { None, Batches, Examples };
+
+struct TrainerConfig {
+  std::size_t batch_size = 256;
+  AdamConfig adam;
+  std::size_t epochs = 5;
+  ShuffleMode shuffle = ShuffleMode::Batches;
+  std::uint64_t seed = 1;
+  // Cap on test examples used for the per-epoch P@1 estimate (0 = all).
+  std::size_t eval_max_examples = 2000;
+  bool verbose = false;
+};
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double train_seconds = 0.0;       // this epoch's training wall-clock
+  double cumulative_seconds = 0.0;  // total training time so far (excl. eval)
+  double avg_loss = 0.0;
+  double p_at_1 = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;
+  double avg_epoch_seconds = 0.0;
+  double final_p_at_1 = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Network& net, TrainerConfig cfg);
+
+  // Full run: cfg.epochs epochs, evaluating P@1 after each.
+  TrainResult train(const data::Dataset& train_set, const data::Dataset& test_set);
+
+  // One epoch of training; returns its wall-clock seconds.
+  double train_one_epoch(const data::Dataset& train_set);
+
+  // Mean P@1 over (up to max_examples of) the test set via full inference.
+  double evaluate_p_at_1(const data::Dataset& test_set, std::size_t max_examples = 0);
+
+  // Mean P@k (|top-k ∩ labels| / k, the extreme-classification convention).
+  double evaluate_p_at_k(const data::Dataset& test_set, std::size_t k,
+                         std::size_t max_examples = 0);
+
+  double last_avg_loss() const { return last_avg_loss_; }
+
+ private:
+  void ensure_workspaces();
+
+  Network& net_;
+  TrainerConfig cfg_;
+  std::vector<Workspace> workspaces_;  // one per pool worker rank
+  double last_avg_loss_ = 0.0;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace slide

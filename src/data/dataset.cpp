@@ -1,0 +1,95 @@
+#include "data/dataset.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace slide::data {
+
+Dataset::Dataset(std::size_t feature_dim, std::size_t label_dim, Layout layout)
+    : feature_dim_(feature_dim), label_dim_(label_dim), layout_(layout) {
+  if (feature_dim == 0) throw std::invalid_argument("Dataset: feature_dim must be > 0");
+  if (label_dim == 0) throw std::invalid_argument("Dataset: label_dim must be > 0");
+}
+
+void Dataset::reserve(std::size_t examples, std::size_t total_nnz, std::size_t total_labels) {
+  if (layout_ == Layout::Coalesced) {
+    coalesced_.reserve(examples, total_nnz, total_labels);
+  } else {
+    fragmented_.reserve(examples, total_nnz, total_labels);
+  }
+}
+
+void Dataset::add(std::span<const std::uint32_t> indices, std::span<const float> values,
+                  std::span<const std::uint32_t> labels) {
+  if (!indices.empty() && indices.back() >= feature_dim_) {
+    throw std::out_of_range("Dataset::add: feature index " + std::to_string(indices.back()) +
+                            " >= feature_dim " + std::to_string(feature_dim_));
+  }
+  for (const std::uint32_t l : labels) {
+    if (l >= label_dim_) {
+      throw std::out_of_range("Dataset::add: label " + std::to_string(l) + " >= label_dim " +
+                              std::to_string(label_dim_));
+    }
+  }
+  if (layout_ == Layout::Coalesced) {
+    coalesced_.add(indices, values, labels);
+  } else {
+    fragmented_.add(indices, values, labels);
+  }
+}
+
+std::size_t Dataset::size() const {
+  return layout_ == Layout::Coalesced ? coalesced_.size() : fragmented_.size();
+}
+
+std::size_t Dataset::total_nnz() const {
+  return layout_ == Layout::Coalesced ? coalesced_.total_nnz() : fragmented_.total_nnz();
+}
+
+Dataset Dataset::with_layout(Layout layout) const {
+  Dataset out(feature_dim_, label_dim_, layout);
+  out.reserve(size(), total_nnz(), 0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto f = features(i);
+    out.add(f.index_span(), f.value_span(), labels(i));
+  }
+  return out;
+}
+
+Dataset Dataset::head(std::size_t n) const {
+  Dataset out(feature_dim_, label_dim_, layout_);
+  const std::size_t count = std::min(n, size());
+  out.reserve(count, 0, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto f = features(i);
+    out.add(f.index_span(), f.value_span(), labels(i));
+  }
+  return out;
+}
+
+DatasetStats compute_stats(const Dataset& ds) {
+  DatasetStats s;
+  s.feature_dim = ds.feature_dim();
+  s.label_dim = ds.label_dim();
+  s.num_examples = ds.size();
+  if (ds.size() == 0) return s;
+  std::size_t nnz = 0, lab = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    nnz += ds.features(i).nnz;
+    lab += ds.labels(i).size();
+  }
+  s.avg_nnz = static_cast<double>(nnz) / static_cast<double>(ds.size());
+  s.feature_sparsity_percent = 100.0 * s.avg_nnz / static_cast<double>(ds.feature_dim());
+  s.avg_labels = static_cast<double>(lab) / static_cast<double>(ds.size());
+  return s;
+}
+
+std::string format_stats(const DatasetStats& s, const std::string& name) {
+  std::ostringstream os;
+  os << name << ": feature_dim=" << s.feature_dim << " sparsity=" << s.feature_sparsity_percent
+     << "% label_dim=" << s.label_dim << " examples=" << s.num_examples
+     << " avg_nnz=" << s.avg_nnz << " avg_labels=" << s.avg_labels;
+  return os.str();
+}
+
+}  // namespace slide::data

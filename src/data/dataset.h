@@ -1,0 +1,67 @@
+// Dataset: a labelled sparse-example collection with a selectable memory
+// layout, plus the statistics the paper's Table 1 reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/sparse_batch.h"
+
+namespace slide::data {
+
+enum class Layout { Coalesced, Fragmented };
+
+class Dataset {
+ public:
+  // Declared dimensions; indices/labels outside them are rejected on add.
+  Dataset(std::size_t feature_dim, std::size_t label_dim, Layout layout = Layout::Coalesced);
+
+  void reserve(std::size_t examples, std::size_t total_nnz, std::size_t total_labels);
+  void add(std::span<const std::uint32_t> indices, std::span<const float> values,
+           std::span<const std::uint32_t> labels);
+
+  std::size_t size() const;
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t label_dim() const { return label_dim_; }
+  Layout layout() const { return layout_; }
+
+  SparseVectorView features(std::size_t i) const {
+    return layout_ == Layout::Coalesced ? coalesced_.features(i) : fragmented_.features(i);
+  }
+  std::span<const std::uint32_t> labels(std::size_t i) const {
+    return layout_ == Layout::Coalesced ? coalesced_.labels(i) : fragmented_.labels(i);
+  }
+
+  std::size_t total_nnz() const;
+
+  // Deep copy into the other layout (used by the memory ablation bench).
+  Dataset with_layout(Layout layout) const;
+
+  // Copy of the first `n` examples (cheap dataset truncation for benches).
+  Dataset head(std::size_t n) const;
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t label_dim_;
+  Layout layout_;
+  CoalescedStorage coalesced_;
+  FragmentedStorage fragmented_;
+};
+
+// Table 1 row: dimensions, sparsity, sizes.
+struct DatasetStats {
+  std::size_t feature_dim = 0;
+  std::size_t label_dim = 0;
+  std::size_t num_examples = 0;
+  double avg_nnz = 0.0;
+  double feature_sparsity_percent = 0.0;  // avg_nnz / feature_dim * 100
+  double avg_labels = 0.0;
+};
+
+DatasetStats compute_stats(const Dataset& ds);
+
+std::string format_stats(const DatasetStats& s, const std::string& name);
+
+}  // namespace slide::data

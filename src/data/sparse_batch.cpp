@@ -1,0 +1,107 @@
+#include "data/sparse_batch.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace slide::data {
+
+void validate_example(std::span<const std::uint32_t> indices, std::span<const float> values) {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("sparse example: " + std::to_string(indices.size()) +
+                                " indices vs " + std::to_string(values.size()) + " values");
+  }
+  for (std::size_t k = 1; k < indices.size(); ++k) {
+    if (indices[k] <= indices[k - 1]) {
+      throw std::invalid_argument("sparse example: indices not strictly increasing at " +
+                                  std::to_string(k));
+    }
+  }
+}
+
+void normalize_example(std::vector<std::uint32_t>& indices, std::vector<float>& values) {
+  if (indices.size() != values.size()) {
+    throw std::invalid_argument("normalize_example: size mismatch");
+  }
+  const std::size_t n = indices.size();
+  if (n == 0) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return indices[a] < indices[b]; });
+  std::vector<std::uint32_t> out_idx;
+  std::vector<float> out_val;
+  out_idx.reserve(n);
+  out_val.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t idx = indices[order[k]];
+    const float val = values[order[k]];
+    if (!out_idx.empty() && out_idx.back() == idx) {
+      out_val.back() += val;  // merge duplicate coordinates
+    } else {
+      out_idx.push_back(idx);
+      out_val.push_back(val);
+    }
+  }
+  indices = std::move(out_idx);
+  values = std::move(out_val);
+}
+
+void CoalescedStorage::reserve(std::size_t examples, std::size_t total_nnz,
+                               std::size_t total_labels) {
+  offsets_.reserve(examples + 1);
+  label_offsets_.reserve(examples + 1);
+  indices_.reserve(total_nnz);
+  values_.reserve(total_nnz);
+  labels_.reserve(total_labels);
+}
+
+void CoalescedStorage::add(std::span<const std::uint32_t> indices,
+                           std::span<const float> values,
+                           std::span<const std::uint32_t> labels) {
+  validate_example(indices, values);
+  indices_.insert(indices_.end(), indices.begin(), indices.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  offsets_.push_back(indices_.size());
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
+  label_offsets_.push_back(labels_.size());
+}
+
+FragmentedStorage::FragmentedStorage(const FragmentedStorage& other) {
+  examples_.reserve(other.examples_.size());
+  for (const auto& e : other.examples_) {
+    examples_.push_back(std::make_unique<Example>(*e));
+  }
+}
+
+FragmentedStorage& FragmentedStorage::operator=(const FragmentedStorage& other) {
+  if (this != &other) {
+    FragmentedStorage copy(other);
+    examples_ = std::move(copy.examples_);
+  }
+  return *this;
+}
+
+void FragmentedStorage::reserve(std::size_t examples, std::size_t, std::size_t) {
+  examples_.reserve(examples);
+}
+
+void FragmentedStorage::add(std::span<const std::uint32_t> indices,
+                            std::span<const float> values,
+                            std::span<const std::uint32_t> labels) {
+  validate_example(indices, values);
+  auto e = std::make_unique<Example>();
+  e->indices.assign(indices.begin(), indices.end());
+  e->values.assign(values.begin(), values.end());
+  e->labels.assign(labels.begin(), labels.end());
+  examples_.push_back(std::move(e));
+}
+
+std::size_t FragmentedStorage::total_nnz() const {
+  std::size_t n = 0;
+  for (const auto& e : examples_) n += e->indices.size();
+  return n;
+}
+
+}  // namespace slide::data

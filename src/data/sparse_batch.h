@@ -1,0 +1,106 @@
+// Sparse example storage: coalesced vs fragmented (paper Section 4.1).
+//
+// The paper's first memory optimization replaces per-example heap vectors
+// ("data memory fragmentation") with one long contiguous arena of indices
+// and values plus an offsets array.  Both layouts are implemented here with
+// the same read interface so the rest of the engine — and the ablation
+// bench — can swap them freely:
+//
+//   CoalescedStorage   one arena per field, offset-indexed  (optimized SLIDE)
+//   FragmentedStorage  one heap allocation per example       (naive SLIDE)
+//
+// Invariant enforced on insert: feature indices are strictly increasing
+// within an example.  The AVX-512 scatter kernels rely on index uniqueness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace slide::data {
+
+// Non-owning view of one sparse example's features.
+struct SparseVectorView {
+  const std::uint32_t* indices = nullptr;
+  const float* values = nullptr;
+  std::size_t nnz = 0;
+
+  std::span<const std::uint32_t> index_span() const { return {indices, nnz}; }
+  std::span<const float> value_span() const { return {values, nnz}; }
+};
+
+// Throws std::invalid_argument unless indices are strictly increasing and
+// sizes match.
+void validate_example(std::span<const std::uint32_t> indices, std::span<const float> values);
+
+// Sorts (index, value) pairs by index and sums duplicates in place;
+// used by readers before insertion.
+void normalize_example(std::vector<std::uint32_t>& indices, std::vector<float>& values);
+
+class CoalescedStorage {
+ public:
+  void reserve(std::size_t examples, std::size_t total_nnz, std::size_t total_labels);
+  void add(std::span<const std::uint32_t> indices, std::span<const float> values,
+           std::span<const std::uint32_t> labels);
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  std::size_t total_nnz() const { return indices_.size(); }
+
+  SparseVectorView features(std::size_t i) const {
+    const std::size_t b = offsets_[i];
+    return {indices_.data() + b, values_.data() + b, offsets_[i + 1] - b};
+  }
+  std::span<const std::uint32_t> labels(std::size_t i) const {
+    const std::size_t b = label_offsets_[i];
+    return {labels_.data() + b, label_offsets_[i + 1] - b};
+  }
+
+ private:
+  AlignedVector<std::uint32_t> indices_;
+  AlignedVector<float> values_;
+  std::vector<std::size_t> offsets_{0};
+  std::vector<std::uint32_t> labels_;
+  std::vector<std::size_t> label_offsets_{0};
+};
+
+class FragmentedStorage {
+ public:
+  FragmentedStorage() = default;
+  // Deep copies re-fragment: each copied example gets fresh allocations.
+  FragmentedStorage(const FragmentedStorage& other);
+  FragmentedStorage& operator=(const FragmentedStorage& other);
+  FragmentedStorage(FragmentedStorage&&) noexcept = default;
+  FragmentedStorage& operator=(FragmentedStorage&&) noexcept = default;
+  ~FragmentedStorage() = default;
+
+  void reserve(std::size_t examples, std::size_t total_nnz, std::size_t total_labels);
+  void add(std::span<const std::uint32_t> indices, std::span<const float> values,
+           std::span<const std::uint32_t> labels);
+
+  std::size_t size() const { return examples_.size(); }
+  std::size_t total_nnz() const;
+
+  SparseVectorView features(std::size_t i) const {
+    const Example& e = *examples_[i];
+    return {e.indices.data(), e.values.data(), e.indices.size()};
+  }
+  std::span<const std::uint32_t> labels(std::size_t i) const {
+    const Example& e = *examples_[i];
+    return {e.labels.data(), e.labels.size()};
+  }
+
+ private:
+  // Deliberately one heap object per example with three separate vectors —
+  // this is the allocation pattern the paper identifies as cache-hostile.
+  struct Example {
+    std::vector<std::uint32_t> indices;
+    std::vector<float> values;
+    std::vector<std::uint32_t> labels;
+  };
+  std::vector<std::unique_ptr<Example>> examples_;
+};
+
+}  // namespace slide::data

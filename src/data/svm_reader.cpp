@@ -1,0 +1,145 @@
+#include "data/svm_reader.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace slide::data {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("XC parse error at line " + std::to_string(line_no) + ": " + what);
+}
+
+// Parses "a,b,c" into out; empty string leaves out empty.
+void parse_labels(const std::string& tok, std::size_t line_no,
+                  std::vector<std::uint32_t>& out) {
+  out.clear();
+  const char* p = tok.data();
+  const char* end = p + tok.size();
+  while (p < end) {
+    std::uint32_t v = 0;
+    const auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc()) fail(line_no, "bad label list '" + tok + "'");
+    out.push_back(v);
+    p = next;
+    if (p < end) {
+      if (*p != ',') fail(line_no, "expected ',' in label list '" + tok + "'");
+      ++p;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header.
+  if (!std::getline(in, line)) throw std::runtime_error("XC parse error: empty input");
+  ++line_no;
+  std::istringstream header(line);
+  std::size_t declared_examples = 0, feature_dim = 0, label_dim = 0;
+  if (!(header >> declared_examples >> feature_dim >> label_dim)) {
+    fail(line_no, "bad header '" + line + "'");
+  }
+  if (feature_dim == 0 || label_dim == 0) fail(line_no, "zero feature or label dimension");
+
+  Dataset ds(feature_dim, label_dim, layout);
+  const std::size_t limit =
+      max_examples == 0 ? declared_examples : std::min(declared_examples, max_examples);
+  ds.reserve(limit, 0, 0);
+
+  std::vector<std::uint32_t> labels;
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  while (ds.size() < limit && std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+
+    // Label token is optional ("  f:v ..." means no labels); detect by ':'.
+    indices.clear();
+    values.clear();
+    labels.clear();
+    bool first = true;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      if (first && colon == std::string::npos) {
+        parse_labels(tok, line_no, labels);
+        first = false;
+        continue;
+      }
+      first = false;
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.size()) {
+        fail(line_no, "bad feature token '" + tok + "'");
+      }
+      std::uint32_t idx = 0;
+      {
+        const char* p = tok.data();
+        const auto [next, ec] = std::from_chars(p, p + colon, idx);
+        if (ec != std::errc() || next != p + colon) {
+          fail(line_no, "bad feature index in '" + tok + "'");
+        }
+      }
+      float val = 0.0f;
+      try {
+        val = std::stof(tok.substr(colon + 1));
+      } catch (const std::exception&) {
+        fail(line_no, "bad feature value in '" + tok + "'");
+      }
+      if (idx >= feature_dim) fail(line_no, "feature index " + std::to_string(idx) +
+                                                " >= feature_dim");
+      indices.push_back(idx);
+      values.push_back(val);
+    }
+    for (const std::uint32_t l : labels) {
+      if (l >= label_dim) fail(line_no, "label " + std::to_string(l) + " >= label_dim");
+    }
+    // Deduplicate labels preserving order.
+    std::vector<std::uint32_t> unique_labels;
+    for (const std::uint32_t l : labels) {
+      bool seen = false;
+      for (const std::uint32_t u : unique_labels) seen = seen || (u == l);
+      if (!seen) unique_labels.push_back(l);
+    }
+    normalize_example(indices, values);
+    ds.add(indices, values, unique_labels);
+  }
+  return ds;
+}
+
+Dataset read_xc_file(const std::string& path, Layout layout, std::size_t max_examples) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open XC file: " + path);
+  return read_xc(in, layout, max_examples);
+}
+
+void write_xc(std::ostream& out, const Dataset& ds) {
+  out << ds.size() << ' ' << ds.feature_dim() << ' ' << ds.label_dim() << '\n';
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto labels = ds.labels(i);
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+      if (k) out << ',';
+      out << labels[k];
+    }
+    const auto f = ds.features(i);
+    for (std::size_t k = 0; k < f.nnz; ++k) {
+      out << ' ' << f.indices[k] << ':' << f.values[k];
+    }
+    out << '\n';
+  }
+}
+
+void write_xc_file(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open XC file for writing: " + path);
+  write_xc(out, ds);
+}
+
+}  // namespace slide::data

@@ -1,0 +1,31 @@
+// Reader/writer for the Extreme Classification repository format used by the
+// paper's datasets (Amazon-670K, WikiLSHTC-325K):
+//
+//   header:  <num_examples> <feature_dim> <label_dim>
+//   line:    l1,l2,...   f1:v1 f2:v2 ...
+//
+// Drop the real dataset files in and they load unchanged; the synthetic
+// generators (synthetic.h) produce the same format for offline use.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace slide::data {
+
+// Parses a stream in XC format.  Malformed headers or records throw
+// std::runtime_error with a line number.  Features are sorted and duplicate
+// coordinates summed; duplicate labels are removed.  `max_examples`
+// truncates large files (0 = no limit).
+Dataset read_xc(std::istream& in, Layout layout = Layout::Coalesced,
+                std::size_t max_examples = 0);
+
+Dataset read_xc_file(const std::string& path, Layout layout = Layout::Coalesced,
+                     std::size_t max_examples = 0);
+
+void write_xc(std::ostream& out, const Dataset& ds);
+void write_xc_file(const std::string& path, const Dataset& ds);
+
+}  // namespace slide::data

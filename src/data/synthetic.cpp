@@ -1,0 +1,145 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace slide::data {
+namespace {
+
+constexpr std::size_t kClusterFeaturePool = 4;  // x avg_nnz candidate features
+constexpr std::size_t kClusterLabelPool = 8;    // candidate labels per cluster
+
+struct ClusterModel {
+  // Flattened pools: cluster c owns features/labels in [c*pool, (c+1)*pool).
+  std::vector<std::uint32_t> feature_pool;
+  std::vector<std::uint32_t> label_pool;
+  std::size_t features_per_cluster;
+  std::size_t labels_per_cluster;
+};
+
+ClusterModel build_cluster_model(const SyntheticConfig& cfg, Rng& rng) {
+  ClusterModel m;
+  // Cap the per-cluster feature pool so clusters own (nearly) disjoint
+  // feature sets; heavily overlapping pools make clusters statistically
+  // indistinguishable and destroy the learnability the Figure 6 curves need.
+  m.features_per_cluster = std::clamp<std::size_t>(
+      cfg.feature_dim / std::max<std::size_t>(1, cfg.num_clusters), 4,
+      static_cast<std::size_t>(cfg.avg_nnz) * kClusterFeaturePool);
+  m.labels_per_cluster = std::max<std::size_t>(2, kClusterLabelPool);
+  m.feature_pool.resize(cfg.num_clusters * m.features_per_cluster);
+  m.label_pool.resize(cfg.num_clusters * m.labels_per_cluster);
+  for (auto& f : m.feature_pool) {
+    f = static_cast<std::uint32_t>(rng.uniform_u64(cfg.feature_dim));
+  }
+  for (auto& l : m.label_pool) {
+    l = static_cast<std::uint32_t>(rng.uniform_u64(cfg.label_dim));
+  }
+  return m;
+}
+
+// Approximately Poisson around `mean`, cheap and deterministic.
+std::size_t sample_count(double mean, Rng& rng) {
+  const double u = rng.uniform_double();
+  const double x = mean * (0.5 + u);  // uniform in [0.5, 1.5) * mean
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(x)));
+}
+
+void generate_into(Dataset& ds, std::size_t count, const SyntheticConfig& cfg,
+                   const ClusterModel& m, Rng& rng) {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::vector<std::uint32_t> labels;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Zipf-ish cluster popularity: clusters with lower id occur more often,
+    // mimicking the head-heavy label distributions of XC datasets.
+    const double u = rng.uniform_double();
+    const auto cluster = static_cast<std::size_t>(
+        static_cast<double>(cfg.num_clusters) * u * u);
+    const std::uint32_t* cluster_features =
+        m.feature_pool.data() + cluster * m.features_per_cluster;
+    const std::uint32_t* cluster_labels = m.label_pool.data() + cluster * m.labels_per_cluster;
+
+    indices.clear();
+    values.clear();
+    labels.clear();
+
+    const std::size_t nnz = sample_count(cfg.avg_nnz, rng);
+    for (std::size_t k = 0; k < nnz; ++k) {
+      const bool noise = rng.uniform_double() < cfg.noise_fraction;
+      const std::uint32_t idx =
+          noise ? static_cast<std::uint32_t>(rng.uniform_u64(cfg.feature_dim))
+                : cluster_features[rng.uniform_u64(m.features_per_cluster)];
+      indices.push_back(idx);
+      // Positive, skewed values as in tf-idf style features.
+      values.push_back(0.5f + rng.uniform_float());
+    }
+    normalize_example(indices, values);
+
+    const std::size_t nl = sample_count(cfg.avg_labels, rng);
+    for (std::size_t k = 0; k < nl; ++k) {
+      // Head-biased pick inside the cluster's label pool so each cluster has
+      // a dominant label (gives P@1 headroom).
+      const double v = rng.uniform_double();
+      const auto pos = static_cast<std::size_t>(
+          static_cast<double>(m.labels_per_cluster) * v * v);
+      const std::uint32_t label = cluster_labels[std::min(pos, m.labels_per_cluster - 1)];
+      if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+        labels.push_back(label);
+      }
+    }
+    ds.add(indices, values, labels);
+  }
+}
+
+}  // namespace
+
+std::pair<Dataset, Dataset> make_xc_datasets(const SyntheticConfig& cfg) {
+  Rng rng(cfg.seed);
+  const ClusterModel model = build_cluster_model(cfg, rng);
+  Dataset train(cfg.feature_dim, cfg.label_dim, cfg.layout);
+  Dataset test(cfg.feature_dim, cfg.label_dim, cfg.layout);
+  train.reserve(cfg.num_train, static_cast<std::size_t>(cfg.avg_nnz * cfg.num_train), 0);
+  test.reserve(cfg.num_test, static_cast<std::size_t>(cfg.avg_nnz * cfg.num_test), 0);
+  generate_into(train, cfg.num_train, cfg, model, rng);
+  generate_into(test, cfg.num_test, cfg, model, rng);
+  return {std::move(train), std::move(test)};
+}
+
+namespace {
+std::size_t scaled(std::size_t full, double scale, std::size_t floor_value) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(full) * scale);
+  return std::max(v, floor_value);
+}
+}  // namespace
+
+SyntheticConfig amazon670k_like(double scale) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = scaled(135909, scale, 2000);
+  cfg.label_dim = scaled(670091, scale, 1000);
+  cfg.num_train = scaled(490449, scale, 2000);
+  cfg.num_test = scaled(153025, scale, 500);
+  cfg.avg_nnz = 75.0;  // 0.055% of 135,909
+  cfg.avg_labels = 5.0;
+  // ~60 owned features per cluster at every scale (matches avg_nnz).
+  cfg.num_clusters = std::max<std::size_t>(32, cfg.feature_dim / 60);
+  cfg.seed = 670;
+  return cfg;
+}
+
+SyntheticConfig wiki325k_like(double scale) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = scaled(1617899, scale, 4000);
+  cfg.label_dim = scaled(325056, scale, 800);
+  cfg.num_train = scaled(1778351, scale, 2000);
+  cfg.num_test = scaled(587084, scale, 500);
+  cfg.avg_nnz = 42.0;  // 0.0026% of 1,617,899
+  cfg.avg_labels = 3.2;
+  cfg.num_clusters = std::max<std::size_t>(32, cfg.label_dim / 100);
+  cfg.seed = 325;
+  return cfg;
+}
+
+}  // namespace slide::data

@@ -1,0 +1,44 @@
+// Synthetic extreme-classification workloads matching the paper's Table 1.
+//
+// The real Amazon-670K / WikiLSHTC-325K downloads are not available offline,
+// so we generate datasets with the same dimensions, sparsity and label
+// statistics from a clustered generative model: a latent cluster ties a
+// signature set of features to a small set of labels, so P@1 genuinely
+// improves as the model learns (which Figure 6's convergence curves need).
+// DESIGN.md Section 5 documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.h"
+
+namespace slide::data {
+
+struct SyntheticConfig {
+  std::size_t feature_dim = 10000;
+  std::size_t label_dim = 1000;
+  std::size_t num_train = 5000;
+  std::size_t num_test = 1000;
+  double avg_nnz = 50.0;          // mean active features per example
+  double avg_labels = 2.0;        // mean positive labels per example
+  std::size_t num_clusters = 64;  // latent clusters linking features to labels
+  double noise_fraction = 0.2;    // fraction of features drawn uniformly
+  std::uint64_t seed = 42;
+  Layout layout = Layout::Coalesced;
+};
+
+// Generates a train/test pair from the same cluster model.
+std::pair<Dataset, Dataset> make_xc_datasets(const SyntheticConfig& cfg);
+
+// Paper Table 1 configurations.  `scale` in (0, 1] shrinks every dimension
+// and sample count proportionally (floors keep tiny scales usable);
+// scale = 1 reproduces the published statistics:
+//   Amazon-670K:    135,909 features (0.055% sparsity), 670,091 labels,
+//                   490,449 train / 153,025 test
+//   WikiLSHTC-325K: 1,617,899 features (0.0026%), 325,056 labels,
+//                   1,778,351 train / 587,084 test
+SyntheticConfig amazon670k_like(double scale = 1.0);
+SyntheticConfig wiki325k_like(double scale = 1.0);
+
+}  // namespace slide::data

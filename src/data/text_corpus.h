@@ -1,0 +1,44 @@
+// Synthetic Text8-like corpus and skip-gram dataset (paper Section 5.1).
+//
+// Text8 is the first 10^8 bytes of English Wikipedia; the paper trains a
+// word2vec skip-gram model on it (one-hot input word, multi-hot context
+// words, window 2).  We generate a corpus with the two statistics that
+// matter for the systems evaluation: a Zipf unigram distribution (253,855
+// vocabulary at full scale) and local topical coherence so that skip-gram
+// training actually converges.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace slide::data {
+
+struct CorpusConfig {
+  std::size_t vocab_size = 10000;
+  std::size_t num_tokens = 200000;
+  std::size_t num_topics = 50;     // latent topics giving local coherence
+  double topic_switch_prob = 0.1;  // per-token probability of switching topic
+  double topical_fraction = 0.7;   // tokens drawn from the topic pool vs Zipf
+  double zipf_exponent = 1.05;     // unigram skew
+  std::size_t window = 2;          // skip-gram window (the paper uses 2)
+  std::uint64_t seed = 8;
+  Layout layout = Layout::Coalesced;
+};
+
+// Token stream from a topic-Markov Zipf model.
+std::vector<std::uint32_t> generate_corpus(const CorpusConfig& cfg);
+
+// Skip-gram examples: input = one-hot center word, labels = the (deduplicated)
+// window words.  feature_dim == label_dim == vocab_size.  The corpus is split
+// train/test by position.
+std::pair<Dataset, Dataset> make_skipgram_datasets(const CorpusConfig& cfg,
+                                                   double train_fraction = 0.8);
+
+// Paper Table 1 configuration: 253,855 vocabulary, 13.6M train /
+// 3.4M test skip-gram examples at scale 1.
+CorpusConfig text8_like(double scale = 1.0);
+
+}  // namespace slide::data

@@ -1,0 +1,13 @@
+// Internal: backend table declarations shared by the dispatch TU.
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace slide::kernels {
+
+extern const KernelTable kScalarTable;
+#if SLIDE_HAVE_AVX512
+extern const KernelTable kAvx512Table;
+#endif
+
+}  // namespace slide::kernels

@@ -1,0 +1,65 @@
+// Runtime backend selection (drives the Table 4 AVX-512 on/off ablation).
+#include <atomic>
+
+#include "kernels/backend_tables.h"
+#include "util/cpu_features.h"
+
+namespace slide::kernels {
+namespace {
+
+const KernelTable* best_table() {
+#if SLIDE_HAVE_AVX512
+  if (cpu_has_avx512()) return &kAvx512Table;
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* active_table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = best_table();
+    const KernelTable* expected = nullptr;
+    g_table.compare_exchange_strong(expected, t, std::memory_order_acq_rel);
+    t = g_table.load(std::memory_order_acquire);
+  }
+  return t;
+}
+}  // namespace detail
+
+bool avx512_available() {
+#if SLIDE_HAVE_AVX512
+  return cpu_has_avx512();
+#else
+  return false;
+#endif
+}
+
+bool set_isa(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      g_table.store(&kScalarTable, std::memory_order_release);
+      return true;
+    case Isa::Avx512:
+#if SLIDE_HAVE_AVX512
+      if (cpu_has_avx512()) {
+        g_table.store(&kAvx512Table, std::memory_order_release);
+        return true;
+      }
+#endif
+      return false;
+  }
+  return false;
+}
+
+Isa active_isa() {
+  return detail::active_table() == &kScalarTable ? Isa::Scalar : Isa::Avx512;
+}
+
+const char* active_isa_name() { return detail::active_table()->name; }
+
+}  // namespace slide::kernels

@@ -1,0 +1,209 @@
+// ISA-dispatched compute kernels (paper Sections 4.2-4.4).
+//
+// Every numeric hot loop in the library goes through this table so that the
+// whole engine can be flipped between the AVX-512 backend and the scalar
+// reference backend at runtime — that switch *is* the paper's Table 4
+// ablation ("Impact of AVX-512").
+//
+// Kernel inventory and the paper mechanism each one implements:
+//   dot_f32 / dot_bf16_*      Algorithm 1 (dense x, row-major W): dense inner
+//                             product, 16 (fp32) or 32 (bf16) lanes per op.
+//   sparse_dot_*              Algorithm 1 applied to a sparse input vector via
+//                             AVX-512 gathers (input layer of SLIDE).
+//   axpy_*                    Algorithm 2 (sparse x, column-major W): each
+//                             non-zero contributes alpha * row into a dense
+//                             accumulator.
+//   scatter_axpy_f32          Algorithm 2's store direction with sparse
+//                             destinations (weight-gradient scatter).
+//   adam_step_*               Fig. 3: vectorized ADAM update over contiguous
+//                             weight/momentum/velocity/gradient rows.
+//   fp32_to_bf16 / bf16_to_fp32  Section 4.4 quantization (round-to-nearest-
+//                             even, matching VCVTNEPS2BF16 semantics).
+//   softmax_f32, relu_f32, reduce_*, argmax_f32, fill_f32, gather_f32,
+//   gather_scatter_f32, wta_winners_f32
+//                             layer activations, evaluation, and the DWTA
+//                             hashing pipeline of Section 4.3.3.
+//
+// Preconditions shared by all kernels: pointers may alias only where a
+// parameter is documented as in/out; `n` may be zero; index arrays used with
+// scatter kernels must contain unique indices (guaranteed by SparseBatch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bf16.h"
+
+namespace slide::kernels {
+
+enum class Isa { Scalar, Avx512 };
+
+// Function-pointer table filled in by each backend translation unit.
+struct KernelTable {
+  float (*dot_f32)(const float* a, const float* b, std::size_t n);
+  float (*dot_bf16_f32)(const bf16* a, const float* b, std::size_t n);
+  float (*dot_bf16_bf16)(const bf16* a, const bf16* b, std::size_t n);
+
+  float (*sparse_dot_f32)(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                          const float* w);
+  float (*sparse_dot_bf16)(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                           const bf16* w);
+
+  void (*axpy_f32)(float alpha, const float* x, float* y, std::size_t n);
+  void (*axpy_bf16)(float alpha, const bf16* x, float* y, std::size_t n);
+  void (*scatter_axpy_f32)(float alpha, const std::uint32_t* idx, const float* val,
+                           std::size_t nnz, float* w);
+
+  void (*scale_f32)(float alpha, float* x, std::size_t n);
+  void (*fill_f32)(float* x, std::size_t n, float value);
+  void (*relu_f32)(float* x, std::size_t n);
+  float (*reduce_sum_f32)(const float* x, std::size_t n);
+  float (*reduce_max_f32)(const float* x, std::size_t n);
+  std::size_t (*argmax_f32)(const float* x, std::size_t n);
+  void (*softmax_f32)(float* x, std::size_t n);
+
+  void (*fp32_to_bf16)(const float* src, bf16* dst, std::size_t n);
+  void (*bf16_to_fp32)(const bf16* src, float* dst, std::size_t n);
+
+  void (*adam_step_f32)(float* w, float* m, float* v, float* g, std::size_t n, float lr,
+                        float beta1, float beta2, float eps, float inv_bias1,
+                        float inv_bias2);
+  void (*adam_step_bf16)(bf16* w, float* m, float* v, float* g, std::size_t n, float lr,
+                         float beta1, float beta2, float eps, float inv_bias1,
+                         float inv_bias2);
+
+  // Multi-row dots: out[r] = <row(r), x> where row(r) = w + rows[r]*ld
+  // (rows == nullptr means consecutive rows 0..nrows-1).  The AVX-512
+  // backend blocks 4 rows per pass so each x load feeds 4 FMAs — the
+  // batched form of Algorithm 1 used by the layer forward pass.
+  void (*dot_rows_f32)(const float* w, std::size_t ld, const std::uint32_t* rows,
+                       std::size_t nrows, const float* x, std::size_t n, float* out);
+  void (*dot_rows_wf32_xbf16)(const float* w, std::size_t ld, const std::uint32_t* rows,
+                              std::size_t nrows, const bf16* x, std::size_t n, float* out);
+  void (*dot_rows_wbf16_xbf16)(const bf16* w, std::size_t ld, const std::uint32_t* rows,
+                               std::size_t nrows, const bf16* x, std::size_t n, float* out);
+
+  void (*gather_f32)(float* dst, const float* src, const std::uint32_t* idx, std::size_t n);
+  void (*gather_scatter_f32)(float* dst, const std::uint32_t* dst_idx, const float* src,
+                             const std::uint32_t* src_idx, std::size_t n);
+  // For each bin b in [0,num_bins): winners[b] = index in [0,8) of the max of
+  // values[8b .. 8b+8); values of -FLT_MAX mark absent slots.  Fixed bin
+  // width of 8 matches the paper's DWTA configuration.
+  void (*wta_winners_f32)(const float* values, std::size_t num_bins, std::uint8_t* winners);
+
+  const char* name;
+};
+
+namespace detail {
+const KernelTable* active_table();
+}
+
+// --- Backend selection -------------------------------------------------
+
+// True when the AVX-512 backend was compiled in AND the CPU supports it.
+bool avx512_available();
+// Selects a backend; returns false (and leaves the selection unchanged) if
+// the requested backend is unavailable.  Thread-safe, but intended to be
+// called between training runs, not concurrently with them.
+bool set_isa(Isa isa);
+Isa active_isa();
+const char* active_isa_name();
+
+// --- Dispatched entry points --------------------------------------------
+
+inline float dot_f32(const float* a, const float* b, std::size_t n) {
+  return detail::active_table()->dot_f32(a, b, n);
+}
+inline float dot_bf16_f32(const bf16* a, const float* b, std::size_t n) {
+  return detail::active_table()->dot_bf16_f32(a, b, n);
+}
+inline float dot_bf16_bf16(const bf16* a, const bf16* b, std::size_t n) {
+  return detail::active_table()->dot_bf16_bf16(a, b, n);
+}
+inline float sparse_dot_f32(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                            const float* w) {
+  return detail::active_table()->sparse_dot_f32(idx, val, nnz, w);
+}
+inline float sparse_dot_bf16(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                             const bf16* w) {
+  return detail::active_table()->sparse_dot_bf16(idx, val, nnz, w);
+}
+inline void axpy_f32(float alpha, const float* x, float* y, std::size_t n) {
+  detail::active_table()->axpy_f32(alpha, x, y, n);
+}
+inline void axpy_bf16(float alpha, const bf16* x, float* y, std::size_t n) {
+  detail::active_table()->axpy_bf16(alpha, x, y, n);
+}
+inline void scatter_axpy_f32(float alpha, const std::uint32_t* idx, const float* val,
+                             std::size_t nnz, float* w) {
+  detail::active_table()->scatter_axpy_f32(alpha, idx, val, nnz, w);
+}
+inline void scale_f32(float alpha, float* x, std::size_t n) {
+  detail::active_table()->scale_f32(alpha, x, n);
+}
+inline void fill_f32(float* x, std::size_t n, float value) {
+  detail::active_table()->fill_f32(x, n, value);
+}
+inline void relu_f32(float* x, std::size_t n) { detail::active_table()->relu_f32(x, n); }
+inline float reduce_sum_f32(const float* x, std::size_t n) {
+  return detail::active_table()->reduce_sum_f32(x, n);
+}
+// Requires n >= 1.
+inline float reduce_max_f32(const float* x, std::size_t n) {
+  return detail::active_table()->reduce_max_f32(x, n);
+}
+// Returns n when n == 0; ties resolve to the lowest index.
+inline std::size_t argmax_f32(const float* x, std::size_t n) {
+  return detail::active_table()->argmax_f32(x, n);
+}
+// Numerically stable in-place softmax; no-op when n == 0.
+inline void softmax_f32(float* x, std::size_t n) { detail::active_table()->softmax_f32(x, n); }
+inline void fp32_to_bf16(const float* src, bf16* dst, std::size_t n) {
+  detail::active_table()->fp32_to_bf16(src, dst, n);
+}
+inline void bf16_to_fp32(const bf16* src, float* dst, std::size_t n) {
+  detail::active_table()->bf16_to_fp32(src, dst, n);
+}
+// ADAM with bias correction factors precomputed by the caller:
+// inv_bias1 = 1/(1-beta1^t), inv_bias2 = 1/(1-beta2^t).  Zeroes g.
+inline void adam_step_f32(float* w, float* m, float* v, float* g, std::size_t n, float lr,
+                          float beta1, float beta2, float eps, float inv_bias1,
+                          float inv_bias2) {
+  detail::active_table()->adam_step_f32(w, m, v, g, n, lr, beta1, beta2, eps, inv_bias1,
+                                        inv_bias2);
+}
+inline void adam_step_bf16(bf16* w, float* m, float* v, float* g, std::size_t n, float lr,
+                           float beta1, float beta2, float eps, float inv_bias1,
+                           float inv_bias2) {
+  detail::active_table()->adam_step_bf16(w, m, v, g, n, lr, beta1, beta2, eps, inv_bias1,
+                                         inv_bias2);
+}
+inline void dot_rows_f32(const float* w, std::size_t ld, const std::uint32_t* rows,
+                         std::size_t nrows, const float* x, std::size_t n, float* out) {
+  detail::active_table()->dot_rows_f32(w, ld, rows, nrows, x, n, out);
+}
+inline void dot_rows_wf32_xbf16(const float* w, std::size_t ld, const std::uint32_t* rows,
+                                std::size_t nrows, const bf16* x, std::size_t n,
+                                float* out) {
+  detail::active_table()->dot_rows_wf32_xbf16(w, ld, rows, nrows, x, n, out);
+}
+inline void dot_rows_wbf16_xbf16(const bf16* w, std::size_t ld, const std::uint32_t* rows,
+                                 std::size_t nrows, const bf16* x, std::size_t n,
+                                 float* out) {
+  detail::active_table()->dot_rows_wbf16_xbf16(w, ld, rows, nrows, x, n, out);
+}
+inline void gather_f32(float* dst, const float* src, const std::uint32_t* idx,
+                       std::size_t n) {
+  detail::active_table()->gather_f32(dst, src, idx, n);
+}
+// dst[dst_idx[k]] = src[src_idx[k]]; dst_idx entries must be unique.
+inline void gather_scatter_f32(float* dst, const std::uint32_t* dst_idx, const float* src,
+                               const std::uint32_t* src_idx, std::size_t n) {
+  detail::active_table()->gather_scatter_f32(dst, dst_idx, src, src_idx, n);
+}
+inline void wta_winners_f32(const float* values, std::size_t num_bins,
+                            std::uint8_t* winners) {
+  detail::active_table()->wta_winners_f32(values, num_bins, winners);
+}
+
+}  // namespace slide::kernels

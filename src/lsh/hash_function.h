@@ -1,0 +1,34 @@
+// LSH family interface (paper Section 2 and 4.3.3).
+//
+// A hash family maps an input vector to one bucket index per hash table.
+// SLIDE hashes two things with the same family: each neuron's weight vector
+// (at table (re)build time) and each layer input (at query time), so both a
+// dense and a sparse entry point are required.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slide::lsh {
+
+class HashFamily {
+ public:
+  virtual ~HashFamily() = default;
+
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t num_tables() const = 0;
+  // Number of buckets per table; bucket indices are in [0, bucket_range()).
+  virtual std::uint32_t bucket_range() const = 0;
+
+  // Computes num_tables() bucket indices for a dense vector of input_dim()
+  // elements.  Thread-safe: implementations keep scratch in thread_local
+  // storage.
+  virtual void hash_dense(const float* x, std::uint32_t* out) const = 0;
+
+  // Same for a sparse vector given as (strictly increasing) index/value
+  // pairs.  Missing coordinates are treated as absent, not as zero.
+  virtual void hash_sparse(const std::uint32_t* indices, const float* values,
+                           std::size_t nnz, std::uint32_t* out) const = 0;
+};
+
+}  // namespace slide::lsh

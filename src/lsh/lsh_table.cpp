@@ -1,0 +1,124 @@
+#include "lsh/lsh_table.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace slide::lsh {
+
+LshTables::LshTables(std::size_t num_tables, std::uint32_t bucket_range, LshTablesConfig cfg)
+    : bucket_range_(bucket_range), cfg_(cfg) {
+  if (num_tables == 0) throw std::invalid_argument("LshTables: num_tables must be > 0");
+  if (bucket_range == 0) throw std::invalid_argument("LshTables: bucket_range must be > 0");
+  if (cfg_.bucket_capacity == 0) {
+    throw std::invalid_argument("LshTables: bucket_capacity must be > 0");
+  }
+  tables_.resize(num_tables);
+  for (auto& t : tables_) t.buckets.resize(bucket_range_);
+}
+
+void LshTables::clear() {
+  for (auto& t : tables_) {
+    for (auto& b : t.buckets) {
+      b.ids.clear();
+      b.total_inserted = 0;
+    }
+  }
+}
+
+void LshTables::insert_into(Table& table, std::uint32_t bucket_index, std::uint32_t id,
+                            std::uint64_t& rng_state) {
+  Bucket& b = table.buckets[bucket_index];
+  ++b.total_inserted;
+  if (b.ids.size() < cfg_.bucket_capacity) {
+    b.ids.push_back(id);
+    return;
+  }
+  if (cfg_.policy == BucketPolicy::Fifo) {
+    b.ids[(b.total_inserted - 1) % cfg_.bucket_capacity] = id;
+  } else {
+    // Reservoir sampling: keep each of the total_inserted items with equal
+    // probability capacity/total.
+    rng_state = splitmix64(rng_state);
+    const std::uint64_t r = rng_state % b.total_inserted;
+    if (r < cfg_.bucket_capacity) b.ids[r] = id;
+  }
+}
+
+void LshTables::insert(std::uint32_t id, const std::uint32_t* bucket_indices) {
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (bucket_indices[t] >= bucket_range_) {
+      throw std::out_of_range("LshTables::insert: bucket index out of range");
+    }
+    std::uint64_t state = mix64(cfg_.seed, t, id);
+    insert_into(tables_[t], bucket_indices[t], id, state);
+  }
+}
+
+bool LshTables::erase_one(std::size_t table, std::uint32_t bucket, std::uint32_t id) {
+  if (bucket >= bucket_range_) throw std::out_of_range("LshTables::erase_one: bad bucket");
+  Bucket& b = tables_[table].buckets[bucket];
+  for (std::size_t k = 0; k < b.ids.size(); ++k) {
+    if (b.ids[k] == id) {
+      b.ids[k] = b.ids.back();  // swap-erase; bucket order is not meaningful
+      b.ids.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void LshTables::insert_one(std::size_t table, std::uint32_t bucket, std::uint32_t id) {
+  if (bucket >= bucket_range_) throw std::out_of_range("LshTables::insert_one: bad bucket");
+  std::uint64_t state = mix64(cfg_.seed, table, id);
+  insert_into(tables_[table], bucket, id, state);
+}
+
+void LshTables::bulk_load(const std::uint32_t* bucket_indices, std::size_t num_items,
+                          ThreadPool* pool) {
+  const std::size_t num_tables = tables_.size();
+  const auto load_table = [&](std::size_t t) {
+    Table& table = tables_[t];
+    for (auto& b : table.buckets) {
+      b.ids.clear();
+      b.total_inserted = 0;
+    }
+    std::uint64_t state = mix64(cfg_.seed, t, 0xB01Dull);
+    for (std::size_t id = 0; id < num_items; ++id) {
+      insert_into(table, bucket_indices[id * num_tables + t], static_cast<std::uint32_t>(id),
+                  state);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_dynamic(num_tables, 1, [&](unsigned, std::size_t begin, std::size_t end) {
+      for (std::size_t t = begin; t < end; ++t) load_table(t);
+    });
+  } else {
+    for (std::size_t t = 0; t < num_tables; ++t) load_table(t);
+  }
+}
+
+void LshTables::query(const std::uint32_t* bucket_indices,
+                      std::vector<std::uint32_t>& out) const {
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto ids = bucket(t, bucket_indices[t]);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+}
+
+TableStats LshTables::stats(std::size_t table) const {
+  TableStats s;
+  for (const auto& b : tables_[table].buckets) {
+    if (b.ids.empty()) continue;
+    ++s.non_empty_buckets;
+    s.total_entries += b.ids.size();
+    s.max_bucket_size = std::max(s.max_bucket_size, b.ids.size());
+  }
+  if (s.non_empty_buckets > 0) {
+    s.avg_bucket_size =
+        static_cast<double>(s.total_entries) / static_cast<double>(s.non_empty_buckets);
+  }
+  return s;
+}
+
+}  // namespace slide::lsh

@@ -1,0 +1,93 @@
+// L hash tables of neuron-id buckets (paper Fig. 1: "Buckets (pointers
+// only)").
+//
+// Each table partitions neurons by their bucket index under one of the L
+// hash functions.  Buckets hold fixed-capacity candidate lists with either
+// reservoir-sampling or FIFO eviction — reservoir is SLIDE's default and
+// keeps buckets an unbiased sample of their (possibly huge) true contents.
+//
+// Tables are rebuilt wholesale on SLIDE's growing schedule rather than
+// updated per weight change; bulk_load parallelizes over tables (tables are
+// independent), so no locking is needed anywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lsh/hash_function.h"
+#include "threading/thread_pool.h"
+
+namespace slide::lsh {
+
+enum class BucketPolicy { Reservoir, Fifo };
+
+struct LshTablesConfig {
+  std::uint32_t bucket_capacity = 128;
+  BucketPolicy policy = BucketPolicy::Reservoir;
+  std::uint64_t seed = 0x7AB1E5ull;
+};
+
+struct TableStats {
+  std::size_t non_empty_buckets = 0;
+  std::size_t total_entries = 0;
+  std::size_t max_bucket_size = 0;
+  double avg_bucket_size = 0.0;  // over non-empty buckets
+};
+
+class LshTables {
+ public:
+  LshTables(std::size_t num_tables, std::uint32_t bucket_range, LshTablesConfig cfg = {});
+
+  std::size_t num_tables() const { return tables_.size(); }
+  std::uint32_t bucket_range() const { return bucket_range_; }
+
+  void clear();
+
+  // Inserts one item given its per-table bucket indices (indices[t] is the
+  // bucket in table t).  Not thread-safe; used by tests and incremental
+  // updates.
+  void insert(std::uint32_t id, const std::uint32_t* bucket_indices);
+
+  // Single-table operations for incremental maintenance (paper Section 2:
+  // "it will be deleted from the current bucket ... and re-added").
+  // erase_one returns false when the id was not present (e.g. it had been
+  // evicted by the reservoir).  Not thread-safe across the same table.
+  bool erase_one(std::size_t table, std::uint32_t bucket, std::uint32_t id);
+  void insert_one(std::size_t table, std::uint32_t bucket, std::uint32_t id);
+
+  // Clears, then inserts items 0..num_items-1 whose bucket indices are given
+  // row-major in `bucket_indices` (num_items x num_tables).  Parallel over
+  // tables when a pool is supplied.  Deterministic for a fixed seed
+  // regardless of thread schedule (per-table RNG streams).
+  void bulk_load(const std::uint32_t* bucket_indices, std::size_t num_items,
+                 ThreadPool* pool = nullptr);
+
+  std::span<const std::uint32_t> bucket(std::size_t table, std::uint32_t index) const {
+    const Bucket& b = tables_[table].buckets[index];
+    return {b.ids.data(), b.ids.size()};
+  }
+
+  // Appends, without deduplication, every id in the probed buckets.
+  void query(const std::uint32_t* bucket_indices, std::vector<std::uint32_t>& out) const;
+
+  TableStats stats(std::size_t table) const;
+
+ private:
+  struct Bucket {
+    std::vector<std::uint32_t> ids;
+    std::uint32_t total_inserted = 0;
+  };
+  struct Table {
+    std::vector<Bucket> buckets;
+  };
+
+  void insert_into(Table& table, std::uint32_t bucket_index, std::uint32_t id,
+                   std::uint64_t& rng_state);
+
+  std::uint32_t bucket_range_;
+  LshTablesConfig cfg_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace slide::lsh

@@ -1,0 +1,47 @@
+#include "lsh/sampler.h"
+
+#include <algorithm>
+
+namespace slide::lsh {
+
+void select_active_set(const LshTables& tables, const std::uint32_t* bucket_indices,
+                       std::span<const std::uint32_t> forced, std::size_t universe,
+                       const SamplerLimits& limits, SamplerScratch& scratch,
+                       std::vector<std::uint32_t>& out) {
+  out.clear();
+  scratch.begin_query(universe);
+
+  for (const std::uint32_t id : forced) {
+    if (scratch.mark(id)) out.push_back(id);
+  }
+
+  const std::size_t max_active = std::max(limits.max_active, out.size());
+  for (std::size_t t = 0; t < tables.num_tables() && out.size() < max_active; ++t) {
+    for (const std::uint32_t id : tables.bucket(t, bucket_indices[t])) {
+      if (scratch.mark(id)) {
+        out.push_back(id);
+        if (out.size() >= max_active) break;
+      }
+    }
+  }
+
+  if (out.size() < limits.min_active && universe > out.size()) {
+    const std::size_t want = std::min(limits.min_active, universe);
+    // Rejection-sample random ids; bounded attempts keep the worst case
+    // (nearly full active set) from spinning.
+    std::size_t attempts = 16 * (want - out.size()) + 64;
+    while (out.size() < want && attempts-- > 0) {
+      const auto id = static_cast<std::uint32_t>(scratch.rng().uniform_u64(universe));
+      if (scratch.mark(id)) out.push_back(id);
+    }
+    if (out.size() < want) {
+      // Dense fallback: linear scan (only reachable when universe is small
+      // or nearly exhausted).
+      for (std::uint32_t id = 0; id < universe && out.size() < want; ++id) {
+        if (scratch.mark(id)) out.push_back(id);
+      }
+    }
+  }
+}
+
+}  // namespace slide::lsh

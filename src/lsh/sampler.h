@@ -1,0 +1,66 @@
+// Active-set selection (paper Section 2, "Feed-forward Pass").
+//
+// A layer input is hashed once, the L matching buckets are unioned, and the
+// result becomes the set of neurons whose activations are computed.  SLIDE's
+// training pass additionally forces the example's true labels into the set
+// (their gradients define the loss) and tops up with uniformly random
+// neurons when the union is too small early in training.
+//
+// Deduplication is O(1) per candidate via epoch-stamped visit marks: the
+// scratch keeps a per-neuron stamp array and bumps the epoch each query, so
+// no clearing pass is ever needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lsh/lsh_table.h"
+#include "util/rng.h"
+
+namespace slide::lsh {
+
+// Per-thread sampler state.  Never shared across threads.
+class SamplerScratch {
+ public:
+  explicit SamplerScratch(std::uint64_t seed = 0xACE5ull) : rng_(seed) {}
+
+  void begin_query(std::size_t universe) {
+    if (stamps_.size() < universe) stamps_.assign(universe, 0);
+    if (++epoch_ == 0) {  // wrapped: reset stamps and restart epochs at 1
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  // Returns true the first time `id` is seen in the current query.
+  bool mark(std::uint32_t id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    return true;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 0;
+  Rng rng_;
+};
+
+struct SamplerLimits {
+  std::size_t min_active = 0;    // top up with random neurons below this
+  std::size_t max_active = ~0ull;  // stop collecting bucket candidates at this
+};
+
+// Fills `out` with the active neuron ids for one query:
+//   1. every id in `forced` (training labels), deduplicated;
+//   2. bucket candidates from all tables until max_active;
+//   3. uniformly random unseen neurons until min_active.
+// `bucket_indices` holds one bucket per table (from HashFamily::hash_*).
+void select_active_set(const LshTables& tables, const std::uint32_t* bucket_indices,
+                       std::span<const std::uint32_t> forced, std::size_t universe,
+                       const SamplerLimits& limits, SamplerScratch& scratch,
+                       std::vector<std::uint32_t>& out);
+
+}  // namespace slide::lsh

@@ -1,0 +1,320 @@
+#include "naive/naive_network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lsh/dwta.h"
+#include "lsh/simhash.h"
+#include "util/rng.h"
+
+namespace slide::naive {
+namespace {
+
+// Initialization matches core/Layer exactly (same per-neuron seed streams),
+// so the two engines start from identical weights — the integration tests
+// rely on this to compare them.
+float init_stddev(Activation act, std::size_t fan_in, std::size_t fan_out) {
+  if (act == Activation::ReLU) return std::sqrt(2.0f / static_cast<float>(fan_in));
+  return std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+}
+
+lsh::SamplerScratch& sampler_scratch() {
+  thread_local lsh::SamplerScratch s(0xACE5ull);
+  return s;
+}
+
+void scalar_softmax(std::vector<float>& x) {
+  if (x.empty()) return;
+  float m = x[0];
+  for (const float v : x) m = std::max(m, v);
+  float sum = 0.0f;
+  for (float& v : x) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  const float inv = 1.0f / sum;
+  for (float& v : x) v *= inv;
+}
+
+}  // namespace
+
+NaiveLayer::NaiveLayer(std::size_t input_dim, const LayerConfig& cfg, std::uint64_t seed)
+    : input_dim_(input_dim), cfg_(cfg) {
+  if (input_dim_ == 0) throw std::invalid_argument("NaiveLayer: input_dim must be > 0");
+  if (cfg_.dim == 0) throw std::invalid_argument("NaiveLayer: dim must be > 0");
+
+  const float stddev = init_stddev(cfg_.activation, input_dim_, cfg_.dim);
+  neurons_.reserve(cfg_.dim);
+  for (std::size_t n = 0; n < cfg_.dim; ++n) {
+    auto neuron = std::make_unique<NaiveNeuron>();
+    neuron->w.resize(input_dim_);
+    neuron->g.assign(input_dim_, 0.0f);
+    neuron->m.assign(input_dim_, 0.0f);
+    neuron->v.assign(input_dim_, 0.0f);
+    Rng rng(mix64(seed, n, 0xC0FFEEull));
+    for (std::size_t j = 0; j < input_dim_; ++j) neuron->w[j] = stddev * rng.normal_float();
+    neurons_.push_back(std::move(neuron));
+  }
+
+  if (cfg_.lsh.kind != HashKind::None) {
+    if (cfg_.lsh.kind == HashKind::Dwta) {
+      family_ = std::make_unique<lsh::DwtaHash>(input_dim_, cfg_.lsh.k, cfg_.lsh.l,
+                                                mix64(seed, 0xD37Aull, cfg_.dim));
+    } else {
+      family_ = std::make_unique<lsh::SimHash>(input_dim_, cfg_.lsh.k, cfg_.lsh.l,
+                                               mix64(seed, 0x51Bull, cfg_.dim));
+    }
+    lsh::LshTablesConfig tcfg;
+    tcfg.bucket_capacity = cfg_.lsh.bucket_capacity;
+    tcfg.policy = cfg_.lsh.bucket_policy;
+    tcfg.seed = mix64(seed, 0x7AB1E5ull, cfg_.dim);
+    tables_ = std::make_unique<lsh::LshTables>(family_->num_tables(), family_->bucket_range(),
+                                               tcfg);
+    current_rebuild_interval_ = static_cast<double>(cfg_.lsh.rebuild_interval);
+  }
+}
+
+float NaiveLayer::pre_activation_sparse(std::uint32_t n, data::SparseVectorView x) const {
+  const NaiveNeuron& neuron = *neurons_[n];
+  float s = 0.0f;
+  for (std::size_t k = 0; k < x.nnz; ++k) s += x.values[k] * neuron.w[x.indices[k]];
+  return s + neuron.bias;
+}
+
+float NaiveLayer::pre_activation_dense(std::uint32_t n, const float* prev) const {
+  const NaiveNeuron& neuron = *neurons_[n];
+  float s = 0.0f;
+  for (std::size_t j = 0; j < input_dim_; ++j) s += prev[j] * neuron.w[j];
+  return s + neuron.bias;
+}
+
+void NaiveLayer::accumulate_grad_sparse(std::uint32_t n, float g, data::SparseVectorView x) {
+  NaiveNeuron& neuron = *neurons_[n];
+  for (std::size_t k = 0; k < x.nnz; ++k) neuron.g[x.indices[k]] += g * x.values[k];
+  neuron.gb += g;
+  neuron.dirty.store(1, std::memory_order_relaxed);
+}
+
+void NaiveLayer::accumulate_grad_dense(std::uint32_t n, float g, const float* prev) {
+  NaiveNeuron& neuron = *neurons_[n];
+  for (std::size_t j = 0; j < input_dim_; ++j) neuron.g[j] += g * prev[j];
+  neuron.gb += g;
+  neuron.dirty.store(1, std::memory_order_relaxed);
+}
+
+void NaiveLayer::backprop_to_dense(std::uint32_t n, float g, float* prev_grad) const {
+  const NaiveNeuron& neuron = *neurons_[n];
+  for (std::size_t j = 0; j < input_dim_; ++j) prev_grad[j] += g * neuron.w[j];
+}
+
+void NaiveLayer::adam_step(const AdamConfig& cfg, const AdamBias& bias, ThreadPool* pool) {
+  const auto update_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t n = begin; n < end; ++n) {
+      NaiveNeuron& neuron = *neurons_[n];
+      if (neuron.dirty.load(std::memory_order_relaxed) == 0) continue;
+      neuron.dirty.store(0, std::memory_order_relaxed);
+      for (std::size_t j = 0; j < input_dim_; ++j) {
+        const float gj = neuron.g[j];
+        neuron.m[j] = cfg.beta1 * neuron.m[j] + (1.0f - cfg.beta1) * gj;
+        neuron.v[j] = cfg.beta2 * neuron.v[j] + (1.0f - cfg.beta2) * gj * gj;
+        neuron.w[j] -= cfg.lr * (neuron.m[j] * bias.inv_bias1) /
+                       (std::sqrt(neuron.v[j] * bias.inv_bias2) + cfg.eps);
+        neuron.g[j] = 0.0f;
+      }
+      const float gb = neuron.gb;
+      neuron.mb = cfg.beta1 * neuron.mb + (1.0f - cfg.beta1) * gb;
+      neuron.vb = cfg.beta2 * neuron.vb + (1.0f - cfg.beta2) * gb * gb;
+      neuron.bias -= cfg.lr * (neuron.mb * bias.inv_bias1) /
+                     (std::sqrt(neuron.vb * bias.inv_bias2) + cfg.eps);
+      neuron.gb = 0.0f;
+    }
+  };
+  if (pool != nullptr && dim() >= 256) {
+    pool->parallel_for_dynamic(dim(), 64, [&](unsigned, std::size_t b, std::size_t e) {
+      update_rows(b, e);
+    });
+  } else {
+    update_rows(0, dim());
+  }
+}
+
+void NaiveLayer::rebuild_tables(ThreadPool* pool) {
+  if (!uses_hashing()) return;
+  const std::size_t num_tables = family_->num_tables();
+  std::vector<std::uint32_t> buckets(dim() * num_tables);
+  const auto hash_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t n = begin; n < end; ++n) {
+      family_->hash_dense(neurons_[n]->w.data(), buckets.data() + n * num_tables);
+    }
+  };
+  if (pool != nullptr && dim() >= 128) {
+    pool->parallel_for_dynamic(dim(), 32, [&](unsigned, std::size_t b, std::size_t e) {
+      hash_range(b, e);
+    });
+  } else {
+    hash_range(0, dim());
+  }
+  tables_->bulk_load(buckets.data(), dim(), pool);
+}
+
+bool NaiveLayer::on_batch_end(ThreadPool* pool) {
+  if (!uses_hashing()) return false;
+  if (++batches_since_rebuild_ < static_cast<std::size_t>(current_rebuild_interval_)) {
+    return false;
+  }
+  rebuild_tables(pool);
+  batches_since_rebuild_ = 0;
+  current_rebuild_interval_ *= cfg_.lsh.rebuild_growth;
+  return true;
+}
+
+NaiveNetwork::NaiveNetwork(NetworkConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.input_dim == 0) throw std::invalid_argument("NaiveNetwork: input_dim must be > 0");
+  if (cfg_.layers.empty()) throw std::invalid_argument("NaiveNetwork: needs >= 1 layer");
+  layers_.reserve(cfg_.layers.size());
+  std::size_t prev = cfg_.input_dim;
+  for (std::size_t i = 0; i < cfg_.layers.size(); ++i) {
+    layers_.emplace_back(prev, cfg_.layers[i], mix64(cfg_.seed, i, 0x1A7E8ull));
+    prev = cfg_.layers[i].dim;
+  }
+  rebuild_hash_tables(&global_pool());
+}
+
+std::size_t NaiveNetwork::num_params() const {
+  std::size_t total = 0;
+  for (const auto& L : layers_) total += L.dim() * L.input_dim() + L.dim();
+  return total;
+}
+
+float NaiveNetwork::train_example(data::SparseVectorView x,
+                                  std::span<const std::uint32_t> labels) {
+  const std::size_t last = layers_.size() - 1;
+
+  // Original-SLIDE style: fresh per-example buffers every call.
+  std::vector<std::vector<std::uint32_t>> active(layers_.size());
+  std::vector<std::vector<float>> act(layers_.size());
+  std::vector<std::vector<float>> grad(layers_.size());
+
+  // --- forward -----------------------------------------------------------
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    NaiveLayer& L = layers_[i];
+    std::size_t count;
+    if (L.uses_hashing()) {
+      std::vector<std::uint32_t> buckets(L.hash_family()->num_tables());
+      if (i == 0) {
+        L.hash_family()->hash_sparse(x.indices, x.values, x.nnz, buckets.data());
+      } else {
+        L.hash_family()->hash_dense(act[i - 1].data(), buckets.data());
+      }
+      const lsh::SamplerLimits limits{L.config().lsh.min_active, L.config().lsh.max_active};
+      const std::span<const std::uint32_t> forced =
+          i == last ? labels : std::span<const std::uint32_t>{};
+      lsh::select_active_set(*L.tables(), buckets.data(), forced, L.dim(), limits,
+                             sampler_scratch(), active[i]);
+      count = active[i].size();
+    } else {
+      count = L.dim();
+    }
+    act[i].resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::uint32_t n =
+          active[i].empty() ? static_cast<std::uint32_t>(k) : active[i][k];
+      if (i == 0) {
+        act[i][k] = L.pre_activation_sparse(n, x);
+      } else {
+        act[i][k] = L.pre_activation_dense(n, act[i - 1].data());
+      }
+    }
+    if (L.activation() == Activation::Softmax) {
+      scalar_softmax(act[i]);
+    } else if (L.activation() == Activation::ReLU) {
+      for (float& v : act[i]) v = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  // --- loss ----------------------------------------------------------------
+  float loss = 0.0f;
+  const float y = labels.empty() ? 0.0f : 1.0f / static_cast<float>(labels.size());
+  if (!labels.empty()) {
+    if (layers_[last].uses_hashing()) {
+      for (std::size_t k = 0; k < labels.size(); ++k) {
+        loss -= y * std::log(std::max(act[last][k], 1e-30f));
+      }
+    } else {
+      for (const std::uint32_t l : labels) {
+        loss -= y * std::log(std::max(act[last][l], 1e-30f));
+      }
+    }
+  }
+
+  // --- backward ---------------------------------------------------------------
+  grad[last] = act[last];
+  if (!labels.empty()) {
+    if (layers_[last].uses_hashing()) {
+      for (std::size_t k = 0; k < labels.size(); ++k) grad[last][k] -= y;
+    } else {
+      for (const std::uint32_t l : labels) grad[last][l] -= y;
+    }
+  }
+
+  for (std::size_t i = last + 1; i-- > 0;) {
+    NaiveLayer& L = layers_[i];
+    if (i > 0) grad[i - 1].assign(act[i - 1].size(), 0.0f);
+    for (std::size_t k = 0; k < grad[i].size(); ++k) {
+      const float g = grad[i][k];
+      if (g == 0.0f) continue;
+      const std::uint32_t n =
+          active[i].empty() ? static_cast<std::uint32_t>(k) : active[i][k];
+      if (i == 0) {
+        L.accumulate_grad_sparse(n, g, x);
+      } else {
+        L.accumulate_grad_dense(n, g, act[i - 1].data());
+        L.backprop_to_dense(n, g, grad[i - 1].data());
+      }
+    }
+    if (i > 0 && layers_[i - 1].activation() == Activation::ReLU) {
+      for (std::size_t j = 0; j < grad[i - 1].size(); ++j) {
+        if (act[i - 1][j] <= 0.0f) grad[i - 1][j] = 0.0f;
+      }
+    }
+  }
+  return loss;
+}
+
+void NaiveNetwork::adam_step(const AdamConfig& cfg, ThreadPool* pool) {
+  ++adam_t_;
+  const AdamBias bias = adam_bias_correction(cfg, adam_t_);
+  for (auto& L : layers_) L.adam_step(cfg, bias, pool);
+}
+
+void NaiveNetwork::on_batch_end(ThreadPool* pool) {
+  for (auto& L : layers_) L.on_batch_end(pool);
+}
+
+void NaiveNetwork::rebuild_hash_tables(ThreadPool* pool) {
+  for (auto& L : layers_) L.rebuild_tables(pool);
+}
+
+std::uint32_t NaiveNetwork::predict_top1(data::SparseVectorView x) const {
+  std::vector<float> prev;
+  std::vector<float> cur;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const NaiveLayer& L = layers_[i];
+    cur.resize(L.dim());
+    for (std::size_t n = 0; n < L.dim(); ++n) {
+      cur[n] = i == 0 ? L.pre_activation_sparse(static_cast<std::uint32_t>(n), x)
+                      : L.pre_activation_dense(static_cast<std::uint32_t>(n), prev.data());
+    }
+    if (i + 1 < layers_.size() && L.activation() == Activation::ReLU) {
+      for (float& v : cur) v = v > 0.0f ? v : 0.0f;
+    }  // Linear hidden layers pass through
+    prev = cur;
+  }
+  std::size_t best = 0;
+  for (std::size_t n = 1; n < prev.size(); ++n) {
+    if (prev[n] > prev[best]) best = n;
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace slide::naive

@@ -1,0 +1,113 @@
+// Naive SLIDE: a faithful re-implementation of the ORIGINAL SLIDE system's
+// engineering (Chen et al. 2019) that the paper uses as its baseline
+// ("Naive SLIDE" rows of Table 2 and Figure 6).
+//
+// Identical algorithm to core/Network — same LSH families, same active-set
+// selection, same HOGWILD batch parallelism, same ADAM — but with the
+// original implementation's characteristics that Sections 4.1-4.3 remove:
+//
+//   * parameter memory fragmentation: every neuron is a separately
+//     heap-allocated object owning its own weight/gradient/moment vectors;
+//   * no SIMD: all inner loops are plain scalar code, independent of the
+//     kernels::set_isa dispatch (switching the optimized engine's backend
+//     never changes this baseline);
+//   * per-example transient allocations instead of reusable workspaces.
+//
+// The LSH hashing module is shared with the optimized engine, which slightly
+// flatters this baseline (its hashing is vectorized too); measured
+// naive-vs-optimized speedups are therefore conservative.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/adam.h"
+#include "core/config.h"
+#include "data/sparse_batch.h"
+#include "lsh/hash_function.h"
+#include "lsh/lsh_table.h"
+#include "lsh/sampler.h"
+#include "threading/thread_pool.h"
+
+namespace slide::naive {
+
+// One neuron: separately allocated weights, gradients and ADAM moments (the
+// "parameter memory fragmentation" of paper Section 4.1).
+struct NaiveNeuron {
+  std::vector<float> w;
+  std::vector<float> g;
+  std::vector<float> m;
+  std::vector<float> v;
+  float bias = 0.0f;
+  float gb = 0.0f, mb = 0.0f, vb = 0.0f;
+  std::atomic<std::uint8_t> dirty{0};
+};
+
+class NaiveLayer {
+ public:
+  NaiveLayer(std::size_t input_dim, const LayerConfig& cfg, std::uint64_t seed);
+
+  std::size_t dim() const { return neurons_.size(); }
+  std::size_t input_dim() const { return input_dim_; }
+  Activation activation() const { return cfg_.activation; }
+  bool uses_hashing() const { return family_ != nullptr; }
+  const LayerConfig& config() const { return cfg_; }
+  const NaiveNeuron& neuron(std::size_t n) const { return *neurons_[n]; }
+  NaiveNeuron& neuron(std::size_t n) { return *neurons_[n]; }
+
+  float pre_activation_sparse(std::uint32_t n, data::SparseVectorView x) const;
+  float pre_activation_dense(std::uint32_t n, const float* prev) const;
+
+  void accumulate_grad_sparse(std::uint32_t n, float g, data::SparseVectorView x);
+  void accumulate_grad_dense(std::uint32_t n, float g, const float* prev);
+  void backprop_to_dense(std::uint32_t n, float g, float* prev_grad) const;
+
+  void adam_step(const AdamConfig& cfg, const AdamBias& bias, ThreadPool* pool);
+
+  void rebuild_tables(ThreadPool* pool);
+  bool on_batch_end(ThreadPool* pool);
+
+  const lsh::HashFamily* hash_family() const { return family_.get(); }
+  const lsh::LshTables* tables() const { return tables_.get(); }
+
+ private:
+  std::size_t input_dim_;
+  LayerConfig cfg_;
+  std::vector<std::unique_ptr<NaiveNeuron>> neurons_;
+  std::unique_ptr<lsh::HashFamily> family_;
+  std::unique_ptr<lsh::LshTables> tables_;
+  std::size_t batches_since_rebuild_ = 0;
+  double current_rebuild_interval_ = 0.0;
+};
+
+class NaiveNetwork {
+ public:
+  explicit NaiveNetwork(NetworkConfig cfg);
+
+  const NetworkConfig& config() const { return cfg_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  NaiveLayer& layer(std::size_t i) { return layers_[i]; }
+  const NaiveLayer& layer(std::size_t i) const { return layers_[i]; }
+  std::size_t num_params() const;
+
+  // Train-mode forward + backward for one example.  Allocates its transient
+  // buffers per call (original SLIDE style).  Returns the CE loss.
+  // Thread-safe: shared state is only touched through HOGWILD accumulation.
+  float train_example(data::SparseVectorView x, std::span<const std::uint32_t> labels);
+
+  void adam_step(const AdamConfig& cfg, ThreadPool* pool);
+  void on_batch_end(ThreadPool* pool);
+  void rebuild_hash_tables(ThreadPool* pool);
+
+  std::uint32_t predict_top1(data::SparseVectorView x) const;
+
+ private:
+  NetworkConfig cfg_;
+  std::vector<NaiveLayer> layers_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace slide::naive

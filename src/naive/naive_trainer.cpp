@@ -1,0 +1,117 @@
+#include "naive/naive_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace slide::naive {
+
+NaiveTrainer::NaiveTrainer(NaiveNetwork& net, TrainerConfig cfg) : net_(net), cfg_(cfg) {}
+
+double NaiveTrainer::train_one_epoch(const data::Dataset& train_set) {
+  ThreadPool& pool = global_pool();
+  const std::size_t n = train_set.size();
+  const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
+  const std::size_t num_batches = (n + bs - 1) / bs;
+
+  ++epoch_counter_;
+  std::vector<std::size_t> batch_order(num_batches);
+  std::iota(batch_order.begin(), batch_order.end(), 0);
+  std::vector<std::uint32_t> example_order;
+  if (cfg_.shuffle == ShuffleMode::Batches) {
+    Rng rng(mix64(cfg_.seed, epoch_counter_, 0xBA7C4ull));
+    for (std::size_t i = num_batches; i > 1; --i) {
+      std::swap(batch_order[i - 1], batch_order[rng.uniform_u64(i)]);
+    }
+  } else if (cfg_.shuffle == ShuffleMode::Examples) {
+    example_order.resize(n);
+    std::iota(example_order.begin(), example_order.end(), 0u);
+    Rng rng(mix64(cfg_.seed, epoch_counter_, 0xE5A3ull));
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(example_order[i - 1], example_order[rng.uniform_u64(i)]);
+    }
+  }
+
+  std::vector<double> loss_partials(pool.size(), 0.0);
+  const std::size_t grain = std::max<std::size_t>(1, bs / (4 * pool.size()));
+
+  Timer timer;
+  for (const std::size_t b : batch_order) {
+    const std::size_t begin = b * bs;
+    const std::size_t end = std::min(n, begin + bs);
+    pool.parallel_for_dynamic(end - begin, grain,
+                              [&](unsigned rank, std::size_t lo, std::size_t hi) {
+      double local_loss = 0.0;
+      for (std::size_t off = lo; off < hi; ++off) {
+        const std::size_t idx = example_order.empty() ? begin + off
+                                                      : example_order[begin + off];
+        local_loss += net_.train_example(train_set.features(idx), train_set.labels(idx));
+      }
+      loss_partials[rank] += local_loss;
+    });
+    net_.adam_step(cfg_.adam, &pool);
+    net_.on_batch_end(&pool);
+  }
+  const double seconds = timer.seconds();
+
+  double total_loss = 0.0;
+  for (const double l : loss_partials) total_loss += l;
+  last_avg_loss_ = n > 0 ? total_loss / static_cast<double>(n) : 0.0;
+  return seconds;
+}
+
+double NaiveTrainer::evaluate_p_at_1(const data::Dataset& test_set,
+                                     std::size_t max_examples) {
+  ThreadPool& pool = global_pool();
+  const std::size_t n = max_examples == 0 ? test_set.size()
+                                          : std::min(test_set.size(), max_examples);
+  if (n == 0) return 0.0;
+  std::vector<std::size_t> hit_partials(pool.size(), 0);
+  pool.parallel_for_dynamic(n, 16, [&](unsigned rank, std::size_t lo, std::size_t hi) {
+    std::size_t hits = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t top = net_.predict_top1(test_set.features(i));
+      for (const std::uint32_t l : test_set.labels(i)) {
+        if (l == top) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    hit_partials[rank] += hits;
+  });
+  std::size_t hits = 0;
+  for (const std::size_t h : hit_partials) hits += h;
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+TrainResult NaiveTrainer::train(const data::Dataset& train_set,
+                                const data::Dataset& test_set) {
+  TrainResult result;
+  double cumulative = 0.0;
+  for (std::size_t e = 1; e <= cfg_.epochs; ++e) {
+    const double secs = train_one_epoch(train_set);
+    cumulative += secs;
+    EpochRecord rec;
+    rec.epoch = e;
+    rec.train_seconds = secs;
+    rec.cumulative_seconds = cumulative;
+    rec.avg_loss = last_avg_loss_;
+    rec.p_at_1 = evaluate_p_at_1(test_set, cfg_.eval_max_examples);
+    result.history.push_back(rec);
+    if (cfg_.verbose) {
+      log_info("naive epoch ", e, ": time=", secs, "s loss=", rec.avg_loss,
+               " P@1=", rec.p_at_1);
+    }
+  }
+  if (!result.history.empty()) {
+    result.avg_epoch_seconds = cumulative / static_cast<double>(result.history.size());
+    result.final_p_at_1 = result.history.back().p_at_1;
+  }
+  return result;
+}
+
+}  // namespace slide::naive

@@ -1,0 +1,28 @@
+// Training loop for the Naive SLIDE baseline.  Mirrors core/Trainer (same
+// batch structure, same HOGWILD fan-out, same per-batch ADAM) so the only
+// differences measured by the Table 2 benches are the implementation ones
+// documented in naive_network.h.
+#pragma once
+
+#include "core/trainer.h"  // TrainerConfig / EpochRecord / TrainResult
+#include "naive/naive_network.h"
+
+namespace slide::naive {
+
+class NaiveTrainer {
+ public:
+  NaiveTrainer(NaiveNetwork& net, TrainerConfig cfg);
+
+  TrainResult train(const data::Dataset& train_set, const data::Dataset& test_set);
+  double train_one_epoch(const data::Dataset& train_set);
+  double evaluate_p_at_1(const data::Dataset& test_set, std::size_t max_examples = 0);
+  double last_avg_loss() const { return last_avg_loss_; }
+
+ private:
+  NaiveNetwork& net_;
+  TrainerConfig cfg_;
+  double last_avg_loss_ = 0.0;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace slide::naive

@@ -1,0 +1,141 @@
+#include "threading/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace slide {
+namespace {
+thread_local bool t_inside_worker = false;
+}
+
+unsigned ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("SLIDE_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (unsigned r = 0; r < num_threads; ++r) {
+    workers_.emplace_back([this, r] { worker_main(r); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(unsigned rank) {
+  t_inside_worker = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    run_job(rank);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_job(unsigned rank) {
+  const Job job = job_;  // stable copy for this generation
+  try {
+    if (job.grain == 0) {
+      // Static: one contiguous chunk per worker.
+      const std::size_t chunk = (job.total + size() - 1) / size();
+      const std::size_t begin = std::min<std::size_t>(job.total, rank * chunk);
+      const std::size_t end = std::min<std::size_t>(job.total, begin + chunk);
+      if (begin < end) (*job.fn)(rank, begin, end);
+    } else {
+      for (;;) {
+        const std::size_t begin = cursor_.fetch_add(job.grain, std::memory_order_relaxed);
+        if (begin >= job.total) break;
+        const std::size_t end = std::min(job.total, begin + job.grain);
+        (*job.fn)(rank, begin, end);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t total, const RangeFn& fn) {
+  if (total == 0) return;
+  if (t_inside_worker) {  // reentrant call: degrade to serial
+    fn(0, 0, total);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = Job{&fn, total, 0};
+    first_error_ = nullptr;
+    running_ = size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for_dynamic(std::size_t total, std::size_t grain,
+                                      const RangeFn& fn) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  if (t_inside_worker) {
+    fn(0, 0, total);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = Job{&fn, total, grain};
+    cursor_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    running_ = size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_pool_threads(unsigned n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(n == 0 ? 1 : n);
+}
+
+}  // namespace slide

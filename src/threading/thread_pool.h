@@ -1,0 +1,80 @@
+// Fixed-size thread pool with static and dynamic parallel-for.
+//
+// SLIDE's HOGWILD-style data parallelism (paper Section 2 and 4.1.1) maps a
+// batch of examples onto hardware threads with no synchronization between
+// examples; gradient races are tolerated by design.  This pool reproduces
+// OpenMP's `parallel for` semantics (static chunking by default, optional
+// dynamic chunking for irregular work) without a toolchain dependency.
+//
+// Worker ranks are stable across calls: rank r always executes on the same
+// OS thread, so per-rank scratch buffers never migrate or race.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slide {
+
+class ThreadPool {
+ public:
+  // Body signature: fn(worker_rank, begin, end) over a half-open range.
+  using RangeFn = std::function<void(unsigned rank, std::size_t begin, std::size_t end)>;
+
+  explicit ThreadPool(unsigned num_threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Splits [0, total) into one contiguous chunk per worker (OpenMP "static").
+  // Blocks until every chunk finished.  The first exception thrown by any
+  // worker is rethrown on the calling thread.  Reentrant calls from inside a
+  // worker run the whole range serially instead of deadlocking.
+  void parallel_for(std::size_t total, const RangeFn& fn);
+
+  // Work-stealing-lite: workers repeatedly claim `grain`-sized chunks from an
+  // atomic cursor (OpenMP "dynamic").  Better for skewed per-item cost, e.g.
+  // variable-nnz sparse examples.
+  void parallel_for_dynamic(std::size_t total, std::size_t grain, const RangeFn& fn);
+
+  // Default worker count: $SLIDE_NUM_THREADS if set, else hardware threads.
+  static unsigned default_thread_count();
+
+ private:
+  struct Job {
+    const RangeFn* fn = nullptr;
+    std::size_t total = 0;
+    std::size_t grain = 0;  // 0 => static chunking
+  };
+
+  void worker_main(unsigned rank);
+  void run_job(unsigned rank);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  std::uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+// Process-wide pool used by the trainers; created on first use.
+ThreadPool& global_pool();
+
+// Replaces the global pool with one of `n` threads.  Must not be called
+// while work is in flight (trainers call it between runs for thread sweeps).
+void set_global_pool_threads(unsigned n);
+
+}  // namespace slide

@@ -1,0 +1,62 @@
+// Cache-line / SIMD-register aligned storage.
+//
+// AVX-512 loads are fastest (and _mm512_load_* is only legal) on 64-byte
+// aligned addresses, which also matches the cache-line size the paper's
+// memory-coalescing argument (Section 4.1) is built around.  Every weight
+// arena, gradient arena and coalesced batch in this library uses
+// AlignedVector so that rows can be streamed with aligned full-width loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace slide {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Minimal C++17-style allocator returning 64-byte aligned memory.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment weaker than alignof(T)");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Alignment - 1) / Alignment * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+// True when `p` may be used with aligned SIMD loads.
+inline bool is_aligned(const void* p, std::size_t alignment = kCacheLineBytes) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+}  // namespace slide

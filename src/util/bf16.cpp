@@ -1,0 +1,5 @@
+#include "util/bf16.h"
+
+// Header-only today; the TU anchors the module in the build so that future
+// out-of-line helpers (e.g. saturating converters) have a home.
+namespace slide {}

@@ -1,0 +1,53 @@
+// Software brain-float16 (Section 4.4 of the paper).
+//
+// BF16 keeps fp32's 8-bit exponent and truncates the mantissa to 7 bits, so
+// conversion is a pure bit operation on the high half of the fp32 encoding.
+// The paper runs on Cooper Lake with native AVX512-BF16; this host has only
+// AVX-512F/BW/DQ/VL, so we reproduce the *memory* behaviour (16-bit storage,
+// 32 lanes per 512-bit register) and do arithmetic in fp32 after in-register
+// widening.  See DESIGN.md Section 5 for why this preserves the paper's
+// memory-bound speedup story.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace slide {
+
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  bf16() = default;
+  constexpr explicit bf16(std::uint16_t raw) : bits(raw) {}
+
+  // Round-to-nearest-even conversion, matching hardware VCVTNEPS2BF16.
+  static bf16 from_float(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+      // NaN: quiet it and truncate; never round a NaN into infinity.
+      return bf16(static_cast<std::uint16_t>((u >> 16) | 0x0040u));
+    }
+    const std::uint32_t rounding_bias = 0x7FFFu + ((u >> 16) & 1u);
+    return bf16(static_cast<std::uint16_t>((u + rounding_bias) >> 16));
+  }
+
+  float to_float() const {
+    const std::uint32_t u = static_cast<std::uint32_t>(bits) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+  }
+};
+
+inline float to_float(bf16 v) { return v.to_float(); }
+inline bf16 to_bf16(float f) { return bf16::from_float(f); }
+
+static_assert(sizeof(bf16) == 2, "bf16 must be 2 bytes");
+
+// Largest relative rounding error introduced by one fp32 -> bf16 conversion:
+// half a ULP of the 8-bit significand relative to the binade base, i.e. 2^-8
+// relative to the value.  Tests use this bound.
+inline constexpr float kBf16MaxRelativeError = 1.0f / 256.0f;
+
+}  // namespace slide

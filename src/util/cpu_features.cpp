@@ -1,0 +1,21 @@
+#include "util/cpu_features.h"
+
+namespace slide {
+
+bool cpu_has_avx512() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  static const bool has = __builtin_cpu_supports("avx512f") &&
+                          __builtin_cpu_supports("avx512bw") &&
+                          __builtin_cpu_supports("avx512dq") &&
+                          __builtin_cpu_supports("avx512vl");
+  return has;
+#else
+  return false;
+#endif
+}
+
+const char* cpu_feature_string() {
+  return cpu_has_avx512() ? "avx512f avx512bw avx512dq avx512vl" : "scalar-only";
+}
+
+}  // namespace slide

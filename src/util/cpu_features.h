@@ -1,0 +1,13 @@
+// Runtime CPU feature detection used by the kernel dispatcher.
+#pragma once
+
+namespace slide {
+
+// True when the running CPU supports every AVX-512 subset the vector
+// backend was compiled against (F, BW, DQ, VL).
+bool cpu_has_avx512();
+
+// Human-readable summary ("avx512f avx512bw ..." or "scalar-only").
+const char* cpu_feature_string();
+
+}  // namespace slide

@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace slide {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[slide %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace slide

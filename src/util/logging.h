@@ -1,0 +1,40 @@
+// Tiny leveled logger.  Kept deliberately minimal: the training loops log
+// epoch summaries through this so examples/benches can silence them.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace slide {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::Info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::Debug, args...);
+}
+
+}  // namespace slide

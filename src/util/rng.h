@@ -1,0 +1,89 @@
+// Deterministic, fast random number generation.
+//
+// All stochastic components (weight init, LSH seeds, reservoir sampling,
+// synthetic data) draw from these generators so that a (seed, thread-count=1)
+// run is exactly reproducible — a property the test suite relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace slide {
+
+// SplitMix64: used both as a seed expander and as a stateless integer mixer.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Stateless mix of several values into one 64-bit hash.  Used by the LSH
+// module for per-(table, hash, index) pseudo-random decisions without
+// storing projection matrices.
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a * 0x9E3779B97F4A7C15ull + b + 0x9E3779B97F4A7C15ull);
+}
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(mix64(a, b), c);
+}
+
+// xoshiro256** — small, fast, high-quality PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDull) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased-enough integer in [0, n) for n << 2^64 (Lemire reduction).
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * n) >> 64);
+  }
+
+  // Uniform float in [0, 1).
+  float uniform_float() {
+    return static_cast<float>(operator()() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(operator()() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box–Muller (cheap enough for weight init).
+  float normal_float() {
+    // Avoid log(0).
+    float u1 = uniform_float();
+    while (u1 <= 1e-12f) u1 = uniform_float();
+    const float u2 = uniform_float();
+    const float r = __builtin_sqrtf(-2.0f * __builtin_logf(u1));
+    return r * __builtin_cosf(6.28318530717958647692f * u2);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace slide

@@ -1,0 +1,58 @@
+#include "util/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace slide {
+namespace {
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 16u, 100u, 1000u}) {
+    AlignedVector<float> v(n);
+    EXPECT_TRUE(is_aligned(v.data())) << "n=" << n;
+  }
+}
+
+TEST(Aligned, AlignmentHoldsForSmallElementTypes) {
+  AlignedVector<std::uint16_t> v(33);
+  EXPECT_TRUE(is_aligned(v.data()));
+  AlignedVector<std::uint8_t> b(3);
+  EXPECT_TRUE(is_aligned(b.data()));
+}
+
+TEST(Aligned, VectorBehavesLikeStdVector) {
+  AlignedVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 499500);
+  v.resize(10);
+  EXPECT_EQ(v.back(), 9);
+}
+
+TEST(Aligned, ReallocationPreservesAlignment) {
+  AlignedVector<float> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(static_cast<float>(i));
+    if ((i & 1023) == 0) EXPECT_TRUE(is_aligned(v.data()));
+  }
+}
+
+TEST(Aligned, IsAlignedDetectsMisalignment) {
+  alignas(64) char buf[128];
+  EXPECT_TRUE(is_aligned(buf));
+  EXPECT_FALSE(is_aligned(buf + 1));
+  EXPECT_FALSE(is_aligned(buf + 4, 64));
+  EXPECT_TRUE(is_aligned(buf + 16, 16));
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<float> b;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+}  // namespace
+}  // namespace slide

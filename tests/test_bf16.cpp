@@ -1,0 +1,85 @@
+#include "util/bf16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace slide {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Values with <= 8 significant bits are exactly representable.
+  for (float f : {0.0f, 1.0f, -1.0f, 2.0f, 0.5f, -0.375f, 128.0f, 1.5f, -100.0f}) {
+    EXPECT_EQ(bf16::from_float(f).to_float(), f) << f;
+  }
+}
+
+TEST(Bf16, ZeroPreservesSign) {
+  EXPECT_EQ(bf16::from_float(0.0f).bits, 0u);
+  EXPECT_EQ(bf16::from_float(-0.0f).bits, 0x8000u);
+}
+
+TEST(Bf16, InfinityRoundTrips) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16::from_float(inf).to_float(), inf);
+  EXPECT_EQ(bf16::from_float(-inf).to_float(), -inf);
+}
+
+TEST(Bf16, NanStaysNanAndNeverBecomesInfinity) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(bf16::from_float(nan).to_float()));
+  // A signaling-ish NaN pattern with low mantissa bits only: truncation alone
+  // would produce infinity.
+  std::uint32_t tricky = 0x7F800001u;
+  float f;
+  std::memcpy(&f, &tricky, sizeof(f));
+  EXPECT_TRUE(std::isnan(bf16::from_float(f).to_float()));
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1.0 + 2^-9 is exactly halfway between bf16(1.0) and the next value up
+  // (1 + 2^-8); round-to-nearest-even keeps the even mantissa (1.0).
+  const float halfway = 1.0f + 0.001953125f;
+  EXPECT_EQ(bf16::from_float(halfway).to_float(), 1.0f);
+  // 1 + 3*2^-9 is halfway between 1+2^-8 and 1+2^-7; even is 1+2^-7.
+  const float halfway_up = 1.0f + 3.0f * 0.001953125f;
+  EXPECT_EQ(bf16::from_float(halfway_up).to_float(), 1.0f + 0.0078125f);
+}
+
+TEST(Bf16, RelativeErrorBoundHoldsOverRandomSweep) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const float mag = std::exp((rng.uniform_float() - 0.5f) * 30.0f);
+    const float f = (rng.uniform_float() < 0.5f ? -1.0f : 1.0f) * mag;
+    const float back = bf16::from_float(f).to_float();
+    EXPECT_LE(std::abs(back - f), std::abs(f) * kBf16MaxRelativeError)
+        << "f=" << f << " back=" << back;
+  }
+}
+
+TEST(Bf16, MonotoneOverPositiveFloats) {
+  // Conversion must preserve ordering (weak monotonicity).
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const float a = rng.uniform_float() * 100.0f;
+    const float b = a + rng.uniform_float() * 10.0f;
+    EXPECT_LE(bf16::from_float(a).to_float(), bf16::from_float(b).to_float());
+  }
+}
+
+TEST(Bf16, RoundTripIsIdempotent) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = (rng.uniform_float() - 0.5f) * 1000.0f;
+    const bf16 once = bf16::from_float(f);
+    const bf16 twice = bf16::from_float(once.to_float());
+    EXPECT_EQ(once.bits, twice.bits);
+  }
+}
+
+}  // namespace
+}  // namespace slide

@@ -1,0 +1,131 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace slide::cli {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test tool");
+  p.add_string("name", "default", "a string");
+  p.add_int("count", 3, "an int");
+  p.add_double("rate", 0.5, "a double");
+  p.add_flag("verbose", "a flag");
+  p.add_required_string("input", "required path");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x.txt"};
+  ASSERT_TRUE(p.parse(3, argv)) << p.error();
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_EQ(p.get_int("count"), 3);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_EQ(p.get_string("input"), "x.txt");
+  EXPECT_FALSE(p.was_set("name"));
+  EXPECT_TRUE(p.was_set("input"));
+}
+
+TEST(ArgParser, ParsesAllTypes) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog",    "--input", "a", "--name", "bob", "--count",
+                        "42",      "--rate",  "1.25", "--verbose"};
+  ASSERT_TRUE(p.parse(10, argv)) << p.error();
+  EXPECT_EQ(p.get_string("name"), "bob");
+  EXPECT_EQ(p.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.25);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input=in.txt", "--count=7"};
+  ASSERT_TRUE(p.parse(3, argv)) << p.error();
+  EXPECT_EQ(p.get_string("input"), "in.txt");
+  EXPECT_EQ(p.get_int("count"), 7);
+}
+
+TEST(ArgParser, RejectsUnknownFlag) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x", "--bogus", "1"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingRequired) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--name", "x"};
+  EXPECT_FALSE(p.parse(3, argv));
+  EXPECT_NE(p.error().find("input"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.error().find("expects a value"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsBadInt) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x", "--count", "seven"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("integer"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsBadDouble) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x", "--rate", "fast"};
+  EXPECT_FALSE(p.parse(5, argv));
+  EXPECT_NE(p.error().find("number"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsValueOnFlag) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x", "--verbose=yes"};
+  EXPECT_FALSE(p.parse(4, argv));
+  EXPECT_NE(p.error().find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeIntegersParse) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--input", "x", "--count", "-5"};
+  ASSERT_TRUE(p.parse(5, argv)) << p.error();
+  EXPECT_EQ(p.get_int("count"), -5);
+}
+
+TEST(ArgParser, PositionalArgumentsCollected) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "cmd", "--input", "x", "extra"};
+  ASSERT_TRUE(p.parse(5, argv)) << p.error();
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "cmd");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(ArgParser, StartOffsetSkipsSubcommand) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "train", "--input", "x"};
+  ASSERT_TRUE(p.parse(4, argv, 2)) << p.error();
+  EXPECT_TRUE(p.positional().empty());
+}
+
+TEST(ArgParser, HelpListsAllFlagsWithDefaults) {
+  const ArgParser p = make_parser();
+  const std::string h = p.help();
+  for (const char* needle :
+       {"--name", "--count", "--rate", "--verbose", "--input", "(required)",
+        "(default: 3)", "test tool"}) {
+    EXPECT_NE(h.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ArgParser, GetUndeclaredThrows) {
+  const ArgParser p = make_parser();
+  EXPECT_THROW((void)p.get_string("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace slide::cli

@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace slide::data {
+namespace {
+
+Dataset small_dataset(Layout layout = Layout::Coalesced) {
+  Dataset ds(10, 5, layout);
+  const std::uint32_t i0[] = {1, 4};
+  const float v0[] = {1.0f, 2.0f};
+  const std::uint32_t l0[] = {0, 3};
+  ds.add(i0, v0, l0);
+  const std::uint32_t i1[] = {0, 2, 9};
+  const float v1[] = {0.5f, 0.5f, 0.5f};
+  const std::uint32_t l1[] = {4};
+  ds.add(i1, v1, l1);
+  return ds;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.feature_dim(), 10u);
+  EXPECT_EQ(ds.label_dim(), 5u);
+  EXPECT_EQ(ds.total_nnz(), 5u);
+  EXPECT_EQ(ds.features(1).nnz, 3u);
+  EXPECT_EQ(ds.labels(0).size(), 2u);
+}
+
+TEST(Dataset, RejectsZeroDimensions) {
+  EXPECT_THROW(Dataset(0, 5), std::invalid_argument);
+  EXPECT_THROW(Dataset(5, 0), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsOutOfRangeFeature) {
+  Dataset ds(4, 4);
+  const std::uint32_t idx[] = {4};
+  const float val[] = {1.0f};
+  EXPECT_THROW(ds.add(idx, val, {}), std::out_of_range);
+}
+
+TEST(Dataset, RejectsOutOfRangeLabel) {
+  Dataset ds(4, 4);
+  const std::uint32_t lab[] = {4};
+  EXPECT_THROW(ds.add({}, {}, lab), std::out_of_range);
+}
+
+TEST(Dataset, LayoutConversionPreservesContent) {
+  const Dataset a = small_dataset(Layout::Coalesced);
+  const Dataset b = a.with_layout(Layout::Fragmented);
+  ASSERT_EQ(b.layout(), Layout::Fragmented);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fa = a.features(i);
+    const auto fb = b.features(i);
+    ASSERT_EQ(fa.nnz, fb.nnz);
+    for (std::size_t k = 0; k < fa.nnz; ++k) {
+      EXPECT_EQ(fa.indices[k], fb.indices[k]);
+      EXPECT_EQ(fa.values[k], fb.values[k]);
+    }
+    const auto la = a.labels(i);
+    const auto lb = b.labels(i);
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t k = 0; k < la.size(); ++k) EXPECT_EQ(la[k], lb[k]);
+  }
+}
+
+TEST(Dataset, HeadTruncates) {
+  const Dataset ds = small_dataset();
+  const Dataset h = ds.head(1);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.features(0).nnz, 2u);
+  const Dataset all = ds.head(100);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(DatasetStats, ComputesTable1Quantities) {
+  const Dataset ds = small_dataset();
+  const DatasetStats s = compute_stats(ds);
+  EXPECT_EQ(s.feature_dim, 10u);
+  EXPECT_EQ(s.label_dim, 5u);
+  EXPECT_EQ(s.num_examples, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_nnz, 2.5);
+  EXPECT_DOUBLE_EQ(s.feature_sparsity_percent, 25.0);
+  EXPECT_DOUBLE_EQ(s.avg_labels, 1.5);
+}
+
+TEST(DatasetStats, EmptyDataset) {
+  Dataset ds(10, 5);
+  const DatasetStats s = compute_stats(ds);
+  EXPECT_EQ(s.num_examples, 0u);
+  EXPECT_EQ(s.avg_nnz, 0.0);
+}
+
+TEST(DatasetStats, FormatContainsName) {
+  const DatasetStats s = compute_stats(small_dataset());
+  const std::string text = format_stats(s, "tiny");
+  EXPECT_NE(text.find("tiny"), std::string::npos);
+  EXPECT_NE(text.find("feature_dim=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slide::data

@@ -1,0 +1,153 @@
+// Mixed-precision (bf16) kernel tests on both backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "util/rng.h"
+
+namespace slide {
+namespace {
+
+const std::vector<std::size_t> kSizes = {0, 1, 7, 15, 16, 17, 32, 33, 100, 200};
+
+class Bf16IsaTest : public ::testing::TestWithParam<kernels::Isa> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == kernels::Isa::Avx512 && !kernels::avx512_available()) GTEST_SKIP();
+    ASSERT_TRUE(kernels::set_isa(GetParam()));
+  }
+  void TearDown() override {
+    kernels::set_isa(kernels::avx512_available() ? kernels::Isa::Avx512
+                                                 : kernels::Isa::Scalar);
+  }
+};
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = (rng.uniform_float() - 0.5f) * 4.0f;
+  return v;
+}
+
+TEST_P(Bf16IsaTest, ConversionRoundTripMatchesScalarType) {
+  Rng rng(41);
+  for (const std::size_t n : kSizes) {
+    const auto src = random_vec(n, rng);
+    std::vector<bf16> packed(n);
+    std::vector<float> widened(n);
+    kernels::fp32_to_bf16(src.data(), packed.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(packed[i].bits, bf16::from_float(src[i]).bits) << "n=" << n << " i=" << i;
+    }
+    kernels::bf16_to_fp32(packed.data(), widened.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(widened[i], packed[i].to_float());
+    }
+  }
+}
+
+TEST_P(Bf16IsaTest, ConversionHandlesNan) {
+  const float nan = std::nanf("");
+  std::vector<float> src(17, 1.0f);
+  src[3] = nan;
+  src[16] = nan;
+  std::vector<bf16> packed(17);
+  kernels::fp32_to_bf16(src.data(), packed.data(), 17);
+  EXPECT_TRUE(std::isnan(packed[3].to_float()));
+  EXPECT_TRUE(std::isnan(packed[16].to_float()));
+  EXPECT_EQ(packed[0].to_float(), 1.0f);
+}
+
+TEST_P(Bf16IsaTest, DotBf16F32MatchesWidenedReference) {
+  Rng rng(43);
+  for (const std::size_t n : kSizes) {
+    const auto a32 = random_vec(n, rng);
+    const auto b = random_vec(n, rng);
+    std::vector<bf16> a(n);
+    kernels::fp32_to_bf16(a32.data(), a.data(), n);
+    double ref = 0;
+    for (std::size_t i = 0; i < n; ++i) ref += static_cast<double>(a[i].to_float()) * b[i];
+    const float got = kernels::dot_bf16_f32(a.data(), b.data(), n);
+    EXPECT_NEAR(got, ref, std::max(1e-4, std::abs(ref) * 1e-5)) << "n=" << n;
+  }
+}
+
+TEST_P(Bf16IsaTest, DotBf16Bf16MatchesWidenedReference) {
+  Rng rng(47);
+  for (const std::size_t n : kSizes) {
+    const auto a32 = random_vec(n, rng);
+    const auto b32 = random_vec(n, rng);
+    std::vector<bf16> a(n), b(n);
+    kernels::fp32_to_bf16(a32.data(), a.data(), n);
+    kernels::fp32_to_bf16(b32.data(), b.data(), n);
+    double ref = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ref += static_cast<double>(a[i].to_float()) * b[i].to_float();
+    }
+    const float got = kernels::dot_bf16_bf16(a.data(), b.data(), n);
+    EXPECT_NEAR(got, ref, std::max(1e-4, std::abs(ref) * 1e-5)) << "n=" << n;
+  }
+}
+
+TEST_P(Bf16IsaTest, SparseDotBf16MatchesWidenedReference) {
+  Rng rng(53);
+  for (const std::size_t nnz : kSizes) {
+    const std::size_t universe = std::max<std::size_t>(4 * nnz, 64);
+    std::vector<std::uint32_t> idx(nnz);
+    for (std::size_t k = 0; k < nnz; ++k) idx[k] = static_cast<std::uint32_t>(2 * k);
+    const auto val = random_vec(nnz, rng);
+    const auto w32 = random_vec(universe, rng);
+    std::vector<bf16> w(universe);
+    kernels::fp32_to_bf16(w32.data(), w.data(), universe);
+    double ref = 0;
+    for (std::size_t k = 0; k < nnz; ++k) {
+      ref += static_cast<double>(val[k]) * w[idx[k]].to_float();
+    }
+    const float got = kernels::sparse_dot_bf16(idx.data(), val.data(), nnz, w.data());
+    EXPECT_NEAR(got, ref, std::max(1e-4, std::abs(ref) * 1e-5)) << "nnz=" << nnz;
+  }
+}
+
+TEST_P(Bf16IsaTest, AxpyBf16MatchesWidenedReference) {
+  Rng rng(59);
+  for (const std::size_t n : kSizes) {
+    const auto x32 = random_vec(n, rng);
+    std::vector<bf16> x(n);
+    kernels::fp32_to_bf16(x32.data(), x.data(), n);
+    auto y = random_vec(n, rng);
+    auto ref = y;
+    const float alpha = 0.77f;
+    for (std::size_t i = 0; i < n; ++i) ref[i] += alpha * x[i].to_float();
+    kernels::axpy_bf16(alpha, x.data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], ref[i], 1e-5f) << "n=" << n;
+  }
+}
+
+TEST_P(Bf16IsaTest, QuantizedDotStaysWithinBf16ErrorBound) {
+  // End-to-end sanity: quantizing both operands of a 128-dim dot product
+  // (the paper's hidden width) must stay within ~2*kBf16MaxRelativeError
+  // of the fp32 result for well-conditioned inputs.
+  Rng rng(61);
+  const std::size_t n = 128;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 0.5f + rng.uniform_float();  // all positive: no cancellation
+    b[i] = 0.5f + rng.uniform_float();
+  }
+  std::vector<bf16> a16(n), b16(n);
+  kernels::fp32_to_bf16(a.data(), a16.data(), n);
+  kernels::fp32_to_bf16(b.data(), b16.data(), n);
+  const float exact = kernels::dot_f32(a.data(), b.data(), n);
+  const float quant = kernels::dot_bf16_bf16(a16.data(), b16.data(), n);
+  EXPECT_NEAR(quant, exact, std::abs(exact) * 3.0f * kBf16MaxRelativeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Bf16IsaTest,
+                         ::testing::Values(kernels::Isa::Scalar, kernels::Isa::Avx512),
+                         [](const ::testing::TestParamInfo<kernels::Isa>& info) {
+                           return info.param == kernels::Isa::Scalar ? "Scalar" : "Avx512";
+                         });
+
+}  // namespace
+}  // namespace slide

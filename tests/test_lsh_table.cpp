@@ -1,0 +1,174 @@
+#include "lsh/lsh_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace slide::lsh {
+namespace {
+
+TEST(LshTables, ValidatesConstructorArguments) {
+  EXPECT_THROW(LshTables(0, 16), std::invalid_argument);
+  EXPECT_THROW(LshTables(4, 0), std::invalid_argument);
+  LshTablesConfig cfg;
+  cfg.bucket_capacity = 0;
+  EXPECT_THROW(LshTables(4, 16, cfg), std::invalid_argument);
+}
+
+TEST(LshTables, InsertAndQuery) {
+  LshTables t(3, 8);
+  const std::uint32_t buckets_a[] = {1, 2, 3};
+  const std::uint32_t buckets_b[] = {1, 5, 3};
+  t.insert(10, buckets_a);
+  t.insert(20, buckets_b);
+
+  EXPECT_EQ(t.bucket(0, 1).size(), 2u);  // both hashed to bucket 1 in table 0
+  EXPECT_EQ(t.bucket(1, 2).size(), 1u);
+  EXPECT_EQ(t.bucket(1, 5).size(), 1u);
+  EXPECT_EQ(t.bucket(2, 3).size(), 2u);
+  EXPECT_TRUE(t.bucket(0, 0).empty());
+
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {1, 5, 0};
+  t.query(probe, out);
+  // table0 bucket1 -> {10,20}; table1 bucket5 -> {20}; table2 bucket0 -> {}
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 20u), 2);
+}
+
+TEST(LshTables, InsertRejectsOutOfRangeBucket) {
+  LshTables t(2, 8);
+  const std::uint32_t bad[] = {1, 8};
+  EXPECT_THROW(t.insert(1, bad), std::out_of_range);
+}
+
+TEST(LshTables, CapacityIsNeverExceeded) {
+  LshTablesConfig cfg;
+  cfg.bucket_capacity = 16;
+  LshTables t(1, 4, cfg);
+  const std::uint32_t bucket[] = {2};
+  for (std::uint32_t id = 0; id < 1000; ++id) t.insert(id, bucket);
+  EXPECT_EQ(t.bucket(0, 2).size(), 16u);
+}
+
+TEST(LshTables, FifoKeepsNewestItems) {
+  LshTablesConfig cfg;
+  cfg.bucket_capacity = 4;
+  cfg.policy = BucketPolicy::Fifo;
+  LshTables t(1, 2, cfg);
+  const std::uint32_t bucket[] = {0};
+  for (std::uint32_t id = 0; id < 10; ++id) t.insert(id, bucket);
+  const auto ids = t.bucket(0, 0);
+  std::set<std::uint32_t> kept(ids.begin(), ids.end());
+  EXPECT_EQ(kept, (std::set<std::uint32_t>{6, 7, 8, 9}));
+}
+
+TEST(LshTables, ReservoirIsApproximatelyUniform) {
+  // Insert 0..999 into a capacity-100 reservoir many times (different table
+  // seeds); late items must be kept about as often as early items.
+  const int trials = 200;
+  std::vector<int> kept_count(1000, 0);
+  for (int trial = 0; trial < trials; ++trial) {
+    LshTablesConfig cfg;
+    cfg.bucket_capacity = 100;
+    cfg.seed = static_cast<std::uint64_t>(trial) * 7919 + 13;
+    LshTables t(1, 2, cfg);
+    const std::uint32_t bucket[] = {1};
+    for (std::uint32_t id = 0; id < 1000; ++id) t.insert(id, bucket);
+    for (const auto id : t.bucket(0, 1)) kept_count[id]++;
+  }
+  // Expected keep frequency = 100/1000 = 0.1 -> 20 of 200 trials.
+  int early = 0, late = 0;
+  for (int i = 0; i < 200; ++i) early += kept_count[i];
+  for (int i = 800; i < 1000; ++i) late += kept_count[i];
+  EXPECT_NEAR(static_cast<double>(early) / (200 * trials), 0.1, 0.03);
+  EXPECT_NEAR(static_cast<double>(late) / (200 * trials), 0.1, 0.03);
+}
+
+TEST(LshTables, ClearEmptiesEverything) {
+  LshTables t(2, 4);
+  const std::uint32_t bucket[] = {1, 2};
+  t.insert(5, bucket);
+  t.clear();
+  EXPECT_TRUE(t.bucket(0, 1).empty());
+  EXPECT_TRUE(t.bucket(1, 2).empty());
+}
+
+TEST(LshTables, BulkLoadMatchesSequentialInsertSemantics) {
+  // bulk_load(ids 0..n-1) must put every id into its bucket in every table.
+  const std::size_t n = 500;
+  const std::size_t num_tables = 4;
+  Rng rng(11);
+  std::vector<std::uint32_t> buckets(n * num_tables);
+  for (auto& b : buckets) b = static_cast<std::uint32_t>(rng.uniform_u64(64));
+
+  LshTablesConfig cfg;
+  cfg.bucket_capacity = 1000;  // no eviction: exact contents expected
+  LshTables t(num_tables, 64, cfg);
+  t.bulk_load(buckets.data(), n);
+
+  for (std::size_t table = 0; table < num_tables; ++table) {
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const auto ids = t.bucket(table, buckets[id * num_tables + table]);
+      EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end())
+          << "table " << table << " id " << id;
+    }
+  }
+}
+
+TEST(LshTables, BulkLoadDeterministicSerialVsParallel) {
+  const std::size_t n = 2000;
+  const std::size_t num_tables = 8;
+  Rng rng(13);
+  std::vector<std::uint32_t> buckets(n * num_tables);
+  for (auto& b : buckets) b = static_cast<std::uint32_t>(rng.uniform_u64(16));
+
+  LshTablesConfig cfg;
+  cfg.bucket_capacity = 32;  // forces reservoir evictions
+  LshTables serial(num_tables, 16, cfg);
+  serial.bulk_load(buckets.data(), n, nullptr);
+
+  ThreadPool pool(8);
+  LshTables parallel(num_tables, 16, cfg);
+  parallel.bulk_load(buckets.data(), n, &pool);
+
+  for (std::size_t table = 0; table < num_tables; ++table) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      const auto s = serial.bucket(table, b);
+      const auto p = parallel.bucket(table, b);
+      ASSERT_EQ(s.size(), p.size());
+      for (std::size_t k = 0; k < s.size(); ++k) EXPECT_EQ(s[k], p[k]);
+    }
+  }
+}
+
+TEST(LshTables, BulkLoadReplacesPreviousContents) {
+  LshTables t(1, 4);
+  const std::uint32_t old_bucket[] = {3};
+  t.insert(77, old_bucket);
+  const std::uint32_t buckets[] = {0, 1};  // ids 0,1 -> buckets 0,1
+  t.bulk_load(buckets, 2);
+  EXPECT_TRUE(t.bucket(0, 3).empty());
+  EXPECT_EQ(t.bucket(0, 0).size(), 1u);
+}
+
+TEST(LshTables, StatsReflectContents) {
+  LshTables t(1, 8);
+  const std::uint32_t b0[] = {0};
+  const std::uint32_t b1[] = {1};
+  t.insert(1, b0);
+  t.insert(2, b0);
+  t.insert(3, b1);
+  const TableStats s = t.stats(0);
+  EXPECT_EQ(s.non_empty_buckets, 2u);
+  EXPECT_EQ(s.total_entries, 3u);
+  EXPECT_EQ(s.max_bucket_size, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_bucket_size, 1.5);
+}
+
+}  // namespace
+}  // namespace slide::lsh

@@ -1,0 +1,85 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slide {
+namespace {
+
+TEST(TopK, ReturnsDescendingScores) {
+  const std::vector<float> scores = {0.1f, 5.0f, 3.0f, 4.0f, -1.0f, 2.0f};
+  std::vector<std::uint32_t> out;
+  topk_indices(scores.data(), scores.size(), 3, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 2u);
+}
+
+TEST(TopK, KLargerThanNReturnsAllSorted) {
+  const std::vector<float> scores = {1.0f, 3.0f, 2.0f};
+  std::vector<std::uint32_t> out;
+  topk_indices(scores.data(), scores.size(), 10, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 0u);
+}
+
+TEST(TopK, ZeroKOrEmptyInput) {
+  const std::vector<float> scores = {1.0f};
+  std::vector<std::uint32_t> out{9};
+  topk_indices(scores.data(), 1, 0, out);
+  EXPECT_TRUE(out.empty());
+  topk_indices(nullptr, 0, 5, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopK, TiesResolveToLowerIndex) {
+  const std::vector<float> scores = {2.0f, 1.0f, 2.0f, 2.0f};
+  std::vector<std::uint32_t> out;
+  topk_indices(scores.data(), scores.size(), 3, out);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 3u);
+}
+
+TEST(TopK, MatchesFullSortOnRandomInput) {
+  std::vector<float> scores;
+  for (int i = 0; i < 500; ++i) scores.push_back(static_cast<float>((i * 37) % 101));
+  std::vector<std::uint32_t> out;
+  topk_indices(scores.data(), scores.size(), 20, out);
+
+  std::vector<std::uint32_t> all(scores.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(all.begin(), all.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(out[i], all[i]) << i;
+}
+
+TEST(PrecisionAtK, ExactFractions) {
+  const std::vector<std::uint32_t> topk = {1, 2, 3, 4};
+  const std::vector<std::uint32_t> labels = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(precision_at_k(topk, labels), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k(std::span<const std::uint32_t>(topk.data(), 1),
+                                  std::span<const std::uint32_t>(labels)),
+                   0.0);
+}
+
+TEST(PrecisionAtK, EmptyInputs) {
+  const std::vector<std::uint32_t> labels = {1};
+  EXPECT_DOUBLE_EQ(precision_at_k({}, labels), 0.0);
+  const std::vector<std::uint32_t> topk = {1};
+  EXPECT_DOUBLE_EQ(precision_at_k(topk, {}), 0.0);
+}
+
+TEST(PrecisionAtK, PerfectScore) {
+  const std::vector<std::uint32_t> topk = {5, 6};
+  const std::vector<std::uint32_t> labels = {6, 5, 7};
+  EXPECT_DOUBLE_EQ(precision_at_k(topk, labels), 1.0);
+}
+
+}  // namespace
+}  // namespace slide

@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace slide {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformU64StaysInRange) {
+  Rng rng(5);
+  for (const std::uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_u64(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformU64CoversSmallRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformFloatInHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = rng.uniform_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, UniformFloatMeanNearHalf) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_float();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalFloatMomentsRoughlyStandard) {
+  Rng rng(29);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const float x = rng.normal_float();
+    sum += x;
+    sum2 += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = splitmix64(0x1234567812345678ull);
+    const std::uint64_t b = splitmix64(0x1234567812345678ull ^ (1ull << bit));
+    total += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_GT(total / 64.0, 20.0);
+  EXPECT_LT(total / 64.0, 44.0);
+}
+
+TEST(Rng, Mix64DependsOnAllArguments) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 3, 2));
+}
+
+}  // namespace
+}  // namespace slide

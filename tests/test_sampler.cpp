@@ -1,0 +1,144 @@
+#include "lsh/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace slide::lsh {
+namespace {
+
+// Builds 2 tables of 4 buckets with known contents.
+LshTables make_tables() {
+  LshTables t(2, 4);
+  const std::uint32_t a[] = {0, 1};
+  const std::uint32_t b[] = {0, 2};
+  const std::uint32_t c[] = {3, 1};
+  t.insert(10, a);  // table0/bucket0, table1/bucket1
+  t.insert(11, b);  // table0/bucket0, table1/bucket2
+  t.insert(12, c);  // table0/bucket3, table1/bucket1
+  return t;
+}
+
+bool has_duplicates(const std::vector<std::uint32_t>& v) {
+  std::set<std::uint32_t> s(v.begin(), v.end());
+  return s.size() != v.size();
+}
+
+TEST(Sampler, UnionOfProbedBuckets) {
+  const LshTables t = make_tables();
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {0, 1};  // table0/bucket0 + table1/bucket1
+  select_active_set(t, probe, {}, 100, {}, scratch, out);
+  const std::set<std::uint32_t> got(out.begin(), out.end());
+  EXPECT_EQ(got, (std::set<std::uint32_t>{10, 11, 12}));
+  EXPECT_FALSE(has_duplicates(out));
+}
+
+TEST(Sampler, ForcedLabelsComeFirstInOrder) {
+  const LshTables t = make_tables();
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {0, 1};
+  const std::uint32_t forced[] = {55, 10, 77};
+  select_active_set(t, probe, forced, 100, {}, scratch, out);
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out[0], 55u);
+  EXPECT_EQ(out[1], 10u);
+  EXPECT_EQ(out[2], 77u);
+  EXPECT_FALSE(has_duplicates(out));  // 10 must not be re-added by buckets
+}
+
+TEST(Sampler, MinActiveTopsUpWithRandomNeurons) {
+  const LshTables t = make_tables();
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {2, 3};  // empty buckets
+  SamplerLimits limits;
+  limits.min_active = 20;
+  select_active_set(t, probe, {}, 100, limits, scratch, out);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_FALSE(has_duplicates(out));
+  for (const auto id : out) EXPECT_LT(id, 100u);
+}
+
+TEST(Sampler, MinActiveClampedByUniverse) {
+  const LshTables t = make_tables();
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {2, 3};
+  SamplerLimits limits;
+  limits.min_active = 1000;
+  select_active_set(t, probe, {}, 8, limits, scratch, out);
+  EXPECT_EQ(out.size(), 8u);  // whole universe
+  EXPECT_FALSE(has_duplicates(out));
+}
+
+TEST(Sampler, MaxActiveCapsBucketCandidates) {
+  LshTables t(1, 2);
+  std::vector<std::uint32_t> bucket{0};
+  for (std::uint32_t id = 0; id < 50; ++id) t.insert(id, bucket.data());
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  SamplerLimits limits;
+  limits.max_active = 10;
+  const std::uint32_t probe[] = {0};
+  select_active_set(t, probe, {}, 100, limits, scratch, out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(Sampler, ForcedLabelsSurviveMaxActive) {
+  LshTables t(1, 2);
+  std::vector<std::uint32_t> bucket{0};
+  for (std::uint32_t id = 0; id < 50; ++id) t.insert(id, bucket.data());
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  SamplerLimits limits;
+  limits.max_active = 3;
+  const std::uint32_t forced[] = {90, 91, 92, 93, 94};
+  const std::uint32_t probe[] = {0};
+  select_active_set(t, probe, forced, 100, limits, scratch, out);
+  // All forced ids stay even though they exceed max_active.
+  ASSERT_GE(out.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], 90u + i);
+}
+
+TEST(Sampler, ConsecutiveQueriesDoNotLeakMarks) {
+  const LshTables t = make_tables();
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  const std::uint32_t probe[] = {0, 1};
+  select_active_set(t, probe, {}, 100, {}, scratch, out);
+  const auto first = out;
+  select_active_set(t, probe, {}, 100, {}, scratch, out);
+  EXPECT_EQ(out, first);  // same query, same result; marks were reset
+}
+
+TEST(Sampler, DeterministicRandomFillPerScratchSeed) {
+  const LshTables t = make_tables();
+  SamplerLimits limits;
+  limits.min_active = 30;
+  const std::uint32_t probe[] = {2, 3};
+
+  SamplerScratch s1(42), s2(42), s3(43);
+  std::vector<std::uint32_t> a, b, c;
+  select_active_set(t, probe, {}, 1000, limits, s1, a);
+  select_active_set(t, probe, {}, 1000, limits, s2, b);
+  select_active_set(t, probe, {}, 1000, limits, s3, c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Sampler, EmptyEverythingYieldsEmptySet) {
+  LshTables t(2, 4);
+  SamplerScratch scratch;
+  std::vector<std::uint32_t> out{1, 2, 3};
+  const std::uint32_t probe[] = {0, 0};
+  select_active_set(t, probe, {}, 100, {}, scratch, out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace slide::lsh

@@ -1,0 +1,125 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slide {
+namespace {
+
+NetworkConfig sample_config(Precision precision = Precision::Fp32) {
+  LshLayerConfig lsh;
+  lsh.kind = HashKind::Dwta;
+  lsh.k = 3;
+  lsh.l = 6;
+  lsh.min_active = 16;
+  NetworkConfig cfg = make_slide_mlp(40, 10, 50, lsh, precision, 777);
+  return cfg;
+}
+
+data::SparseVectorView sample_input() {
+  static const std::uint32_t idx[] = {1, 17, 39};
+  static const float val[] = {1.0f, -2.0f, 0.5f};
+  return {idx, val, 3};
+}
+
+TEST(Serialize, RoundTripPreservesWeightsAndConfig) {
+  Network net(sample_config());
+  // Perturb state so we are not just round-tripping the initializer.
+  Workspace ws = net.make_workspace();
+  const std::uint32_t labels[] = {7};
+  for (int i = 0; i < 5; ++i) {
+    net.forward(sample_input(), labels, ws, true);
+    net.backward(sample_input(), labels, ws);
+    net.adam_step({}, nullptr);
+  }
+
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network back = load_network(buffer);
+
+  EXPECT_EQ(back.config().input_dim, 40u);
+  EXPECT_EQ(back.config().layers.size(), 2u);
+  EXPECT_EQ(back.config().layers[1].lsh.kind, HashKind::Dwta);
+  EXPECT_EQ(back.adam_steps(), 5u);
+
+  for (std::size_t li = 0; li < 2; ++li) {
+    const auto a = net.layer(li).weights_f32();
+    const auto b = back.layer(li).weights_f32();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << li << ":" << i;
+    const auto ba = net.layer(li).biases();
+    const auto bb = back.layer(li).biases();
+    for (std::size_t i = 0; i < ba.size(); ++i) ASSERT_EQ(ba[i], bb[i]);
+    const auto m1a = net.layer(li).moment1();
+    const auto m1b = back.layer(li).moment1();
+    for (std::size_t i = 0; i < m1a.size(); ++i) ASSERT_EQ(m1a[i], m1b[i]);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Network net(sample_config());
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network back = load_network(buffer);
+  Workspace wa = net.make_workspace();
+  Workspace wb = back.make_workspace();
+  EXPECT_EQ(net.predict_top1(sample_input(), wa), back.predict_top1(sample_input(), wb));
+}
+
+TEST(Serialize, Bf16NetworkRoundTrips) {
+  Network net(sample_config(Precision::Bf16All));
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network back = load_network(buffer);
+  const auto a = net.layer(0).weights_bf16();
+  const auto b = back.layer(0).weights_bf16();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i].bits, b[i].bits);
+}
+
+TEST(Serialize, WithoutMomentsIsSmallerAndLoads) {
+  Network net(sample_config());
+  std::stringstream with, without;
+  save_network(net, with, true);
+  save_network(net, without, false);
+  EXPECT_GT(with.str().size(), without.str().size());
+  Network back = load_network(without);
+  EXPECT_EQ(back.num_params(), net.num_params());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("this is not a checkpoint");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Network net(sample_config());
+  std::stringstream buffer;
+  save_network(net, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_network(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  Network net(sample_config());
+  std::stringstream buffer;
+  save_network(net, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW(load_network(bad), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Network net(sample_config());
+  const std::string path = ::testing::TempDir() + "/slide_ckpt.bin";
+  save_network_file(net, path);
+  Network back = load_network_file(path);
+  EXPECT_EQ(back.num_params(), net.num_params());
+  EXPECT_THROW(load_network_file("/nonexistent/ckpt.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace slide

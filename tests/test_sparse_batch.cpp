@@ -1,0 +1,135 @@
+#include "data/sparse_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace slide::data {
+namespace {
+
+const std::uint32_t kIdx1[] = {1, 5, 9};
+const float kVal1[] = {0.5f, -1.0f, 2.0f};
+const std::uint32_t kLab1[] = {3, 7};
+
+const std::uint32_t kIdx2[] = {0, 2};
+const float kVal2[] = {1.0f, 1.5f};
+const std::uint32_t kLab2[] = {1};
+
+template <typename Storage>
+class StorageTest : public ::testing::Test {};
+
+using StorageTypes = ::testing::Types<CoalescedStorage, FragmentedStorage>;
+TYPED_TEST_SUITE(StorageTest, StorageTypes);
+
+TYPED_TEST(StorageTest, RoundTripsExamples) {
+  TypeParam s;
+  s.add(kIdx1, kVal1, kLab1);
+  s.add(kIdx2, kVal2, kLab2);
+  ASSERT_EQ(s.size(), 2u);
+
+  const auto f0 = s.features(0);
+  ASSERT_EQ(f0.nnz, 3u);
+  EXPECT_EQ(f0.indices[1], 5u);
+  EXPECT_EQ(f0.values[2], 2.0f);
+  const auto l0 = s.labels(0);
+  ASSERT_EQ(l0.size(), 2u);
+  EXPECT_EQ(l0[1], 7u);
+
+  const auto f1 = s.features(1);
+  ASSERT_EQ(f1.nnz, 2u);
+  EXPECT_EQ(f1.indices[0], 0u);
+  EXPECT_EQ(s.labels(1)[0], 1u);
+}
+
+TYPED_TEST(StorageTest, EmptyExampleIsAllowed) {
+  TypeParam s;
+  s.add({}, {}, kLab2);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.features(0).nnz, 0u);
+  EXPECT_EQ(s.labels(0).size(), 1u);
+}
+
+TYPED_TEST(StorageTest, ExampleWithoutLabelsIsAllowed) {
+  TypeParam s;
+  s.add(kIdx2, kVal2, {});
+  EXPECT_TRUE(s.labels(0).empty());
+}
+
+TYPED_TEST(StorageTest, RejectsUnsortedIndices) {
+  TypeParam s;
+  const std::uint32_t bad[] = {5, 1};
+  const float v[] = {1.0f, 2.0f};
+  EXPECT_THROW(s.add(bad, v, {}), std::invalid_argument);
+}
+
+TYPED_TEST(StorageTest, RejectsDuplicateIndices) {
+  TypeParam s;
+  const std::uint32_t bad[] = {3, 3};
+  const float v[] = {1.0f, 2.0f};
+  EXPECT_THROW(s.add(bad, v, {}), std::invalid_argument);
+}
+
+TYPED_TEST(StorageTest, RejectsSizeMismatch) {
+  TypeParam s;
+  const std::uint32_t idx[] = {1, 2, 3};
+  const float v[] = {1.0f};
+  EXPECT_THROW(s.add(idx, v, {}), std::invalid_argument);
+}
+
+TYPED_TEST(StorageTest, TotalNnzAccumulates) {
+  TypeParam s;
+  s.add(kIdx1, kVal1, {});
+  s.add(kIdx2, kVal2, {});
+  EXPECT_EQ(s.total_nnz(), 5u);
+}
+
+TEST(CoalescedStorage, ArenaIsContiguousAcrossExamples) {
+  CoalescedStorage s;
+  s.add(kIdx1, kVal1, {});
+  s.add(kIdx2, kVal2, {});
+  const auto f0 = s.features(0);
+  const auto f1 = s.features(1);
+  // The second example's data must start exactly where the first ends —
+  // this adjacency is the Section 4.1 coalescing property.
+  EXPECT_EQ(f1.indices, f0.indices + f0.nnz);
+  EXPECT_EQ(f1.values, f0.values + f0.nnz);
+}
+
+TEST(FragmentedStorage, ExamplesAreSeparateAllocations) {
+  FragmentedStorage s;
+  s.add(kIdx1, kVal1, {});
+  s.add(kIdx2, kVal2, {});
+  const auto f0 = s.features(0);
+  const auto f1 = s.features(1);
+  EXPECT_NE(f1.indices, f0.indices + f0.nnz);
+}
+
+TEST(NormalizeExample, SortsAndMergesDuplicates) {
+  std::vector<std::uint32_t> idx = {7, 1, 7, 3};
+  std::vector<float> val = {1.0f, 2.0f, 0.5f, -1.0f};
+  normalize_example(idx, val);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 7u);
+  EXPECT_FLOAT_EQ(val[0], 2.0f);
+  EXPECT_FLOAT_EQ(val[1], -1.0f);
+  EXPECT_FLOAT_EQ(val[2], 1.5f);
+}
+
+TEST(NormalizeExample, EmptyIsFine) {
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+  normalize_example(idx, val);
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(NormalizeExample, MismatchThrows) {
+  std::vector<std::uint32_t> idx = {1};
+  std::vector<float> val;
+  EXPECT_THROW(normalize_example(idx, val), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slide::data

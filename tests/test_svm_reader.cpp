@@ -1,0 +1,161 @@
+#include "data/svm_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "data/synthetic.h"
+
+namespace slide::data {
+namespace {
+
+TEST(SvmReader, ParsesWellFormedInput) {
+  std::istringstream in(
+      "3 10 4\n"
+      "0,2 1:0.5 7:1.5\n"
+      "1 0:2.0\n"
+      "3 9:0.25 3:0.75\n");
+  const Dataset ds = read_xc(in);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.feature_dim(), 10u);
+  EXPECT_EQ(ds.label_dim(), 4u);
+
+  EXPECT_EQ(ds.labels(0).size(), 2u);
+  EXPECT_EQ(ds.labels(0)[1], 2u);
+  EXPECT_EQ(ds.features(0).nnz, 2u);
+  EXPECT_FLOAT_EQ(ds.features(0).values[1], 1.5f);
+
+  // Features of example 2 must come back sorted.
+  EXPECT_EQ(ds.features(2).indices[0], 3u);
+  EXPECT_EQ(ds.features(2).indices[1], 9u);
+}
+
+TEST(SvmReader, HandlesLineWithNoLabels) {
+  std::istringstream in(
+      "1 10 4\n"
+      "1:0.5 2:0.5\n");
+  const Dataset ds = read_xc(in);
+  EXPECT_TRUE(ds.labels(0).empty());
+  EXPECT_EQ(ds.features(0).nnz, 2u);
+}
+
+TEST(SvmReader, DeduplicatesLabels) {
+  std::istringstream in(
+      "1 10 4\n"
+      "2,2,1,2 1:1.0\n");
+  const Dataset ds = read_xc(in);
+  ASSERT_EQ(ds.labels(0).size(), 2u);
+  EXPECT_EQ(ds.labels(0)[0], 2u);
+  EXPECT_EQ(ds.labels(0)[1], 1u);
+}
+
+TEST(SvmReader, MergesDuplicateFeatures) {
+  std::istringstream in(
+      "1 10 4\n"
+      "0 3:1.0 3:2.0\n");
+  const Dataset ds = read_xc(in);
+  ASSERT_EQ(ds.features(0).nnz, 1u);
+  EXPECT_FLOAT_EQ(ds.features(0).values[0], 3.0f);
+}
+
+TEST(SvmReader, SkipsBlankLines) {
+  std::istringstream in(
+      "2 10 4\n"
+      "\n"
+      "0 1:1.0\n"
+      "\n"
+      "1 2:1.0\n");
+  EXPECT_EQ(read_xc(in).size(), 2u);
+}
+
+TEST(SvmReader, MaxExamplesTruncates) {
+  std::istringstream in(
+      "3 10 4\n"
+      "0 1:1\n"
+      "1 2:1\n"
+      "2 3:1\n");
+  EXPECT_EQ(read_xc(in, Layout::Coalesced, 2).size(), 2u);
+}
+
+TEST(SvmReader, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(read_xc(in), std::runtime_error);
+}
+
+TEST(SvmReader, RejectsBadHeader) {
+  std::istringstream in("not a header\n");
+  EXPECT_THROW(read_xc(in), std::runtime_error);
+}
+
+TEST(SvmReader, RejectsFeatureIndexBeyondHeader) {
+  std::istringstream in(
+      "1 10 4\n"
+      "0 10:1.0\n");
+  EXPECT_THROW(read_xc(in), std::runtime_error);
+}
+
+TEST(SvmReader, RejectsLabelBeyondHeader) {
+  std::istringstream in(
+      "1 10 4\n"
+      "4 1:1.0\n");
+  EXPECT_THROW(read_xc(in), std::runtime_error);
+}
+
+TEST(SvmReader, RejectsMalformedFeatureToken) {
+  for (const char* line : {"0 1:\n", "0 :5\n", "0 1:x\n", "0 a:1\n"}) {
+    std::istringstream in(std::string("1 10 4\n") + line);
+    EXPECT_THROW(read_xc(in), std::runtime_error) << line;
+  }
+}
+
+TEST(SvmReader, ErrorMessageContainsLineNumber) {
+  std::istringstream in(
+      "2 10 4\n"
+      "0 1:1.0\n"
+      "0 bad\n");
+  try {
+    read_xc(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SvmReader, WriteReadRoundTrip) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = 500;
+  cfg.label_dim = 50;
+  cfg.num_train = 200;
+  cfg.num_test = 1;
+  cfg.avg_nnz = 10;
+  auto [orig, unused] = make_xc_datasets(cfg);
+  (void)unused;
+
+  std::stringstream buffer;
+  write_xc(buffer, orig);
+  const Dataset back = read_xc(buffer);
+
+  ASSERT_EQ(back.size(), orig.size());
+  ASSERT_EQ(back.feature_dim(), orig.feature_dim());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    const auto fo = orig.features(i);
+    const auto fb = back.features(i);
+    ASSERT_EQ(fo.nnz, fb.nnz) << i;
+    for (std::size_t k = 0; k < fo.nnz; ++k) {
+      EXPECT_EQ(fo.indices[k], fb.indices[k]);
+      EXPECT_NEAR(fo.values[k], fb.values[k], std::abs(fo.values[k]) * 1e-5f);
+    }
+    const auto lo = orig.labels(i);
+    const auto lb = back.labels(i);
+    ASSERT_EQ(lo.size(), lb.size());
+    for (std::size_t k = 0; k < lo.size(); ++k) EXPECT_EQ(lo[k], lb[k]);
+  }
+}
+
+TEST(SvmReader, MissingFileThrows) {
+  EXPECT_THROW(read_xc_file("/nonexistent/path/file.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace slide::data

@@ -1,0 +1,146 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slide::data {
+namespace {
+
+TEST(Synthetic, GeneratesRequestedCounts) {
+  SyntheticConfig cfg;
+  cfg.num_train = 500;
+  cfg.num_test = 100;
+  auto [train, test] = make_xc_datasets(cfg);
+  EXPECT_EQ(train.size(), 500u);
+  EXPECT_EQ(test.size(), 100u);
+  EXPECT_EQ(train.feature_dim(), cfg.feature_dim);
+  EXPECT_EQ(train.label_dim(), cfg.label_dim);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticConfig cfg;
+  cfg.num_train = 50;
+  cfg.num_test = 5;
+  auto [a, at] = make_xc_datasets(cfg);
+  auto [b, bt] = make_xc_datasets(cfg);
+  (void)at;
+  (void)bt;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto fa = a.features(i);
+    const auto fb = b.features(i);
+    ASSERT_EQ(fa.nnz, fb.nnz);
+    for (std::size_t k = 0; k < fa.nnz; ++k) {
+      EXPECT_EQ(fa.indices[k], fb.indices[k]);
+      EXPECT_EQ(fa.values[k], fb.values[k]);
+    }
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.num_train = 50;
+  cfg.num_test = 5;
+  auto [a, at] = make_xc_datasets(cfg);
+  cfg.seed = 99;
+  auto [b, bt] = make_xc_datasets(cfg);
+  (void)at;
+  (void)bt;
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    const auto fa = a.features(i);
+    const auto fb = b.features(i);
+    if (fa.nnz != fb.nnz || (fa.nnz > 0 && fa.indices[0] != fb.indices[0])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SparsityNearTarget) {
+  SyntheticConfig cfg;
+  cfg.feature_dim = 50000;
+  cfg.avg_nnz = 60;
+  cfg.num_train = 2000;
+  cfg.num_test = 10;
+  auto [train, test] = make_xc_datasets(cfg);
+  (void)test;
+  const DatasetStats s = compute_stats(train);
+  // Duplicate merges can only reduce nnz, and the count model is mean-
+  // preserving, so a generous +-25% band is a real invariant.
+  EXPECT_GT(s.avg_nnz, cfg.avg_nnz * 0.75);
+  EXPECT_LT(s.avg_nnz, cfg.avg_nnz * 1.25);
+}
+
+TEST(Synthetic, EveryExampleHasAtLeastOneLabel) {
+  SyntheticConfig cfg;
+  cfg.num_train = 1000;
+  cfg.num_test = 10;
+  auto [train, test] = make_xc_datasets(cfg);
+  (void)test;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_GE(train.labels(i).size(), 1u) << i;
+  }
+}
+
+TEST(Synthetic, ValuesArePositive) {
+  SyntheticConfig cfg;
+  cfg.num_train = 200;
+  cfg.num_test = 10;
+  auto [train, test] = make_xc_datasets(cfg);
+  (void)test;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto f = train.features(i);
+    for (std::size_t k = 0; k < f.nnz; ++k) EXPECT_GT(f.values[k], 0.0f);
+  }
+}
+
+TEST(Synthetic, LabelDistributionIsHeadHeavy) {
+  // Zipf-ish cluster popularity must concentrate mass on a small label head
+  // (this is what makes extreme-classification workloads hard to balance).
+  SyntheticConfig cfg;
+  cfg.label_dim = 2000;
+  cfg.num_train = 4000;
+  cfg.num_test = 10;
+  auto [train, test] = make_xc_datasets(cfg);
+  (void)test;
+  std::map<std::uint32_t, std::size_t> counts;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    for (const auto l : train.labels(i)) {
+      ++counts[l];
+      ++total;
+    }
+  }
+  std::vector<std::size_t> freq;
+  for (const auto& [label, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  std::size_t top10 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, freq.size()); ++i) top10 += freq[i];
+  // The 10 most frequent labels carry far more than the uniform share.
+  EXPECT_GT(static_cast<double>(top10) / total, 10.0 / 2000.0 * 5.0);
+}
+
+TEST(Synthetic, PaperConfigsMatchTable1AtFullScale) {
+  const SyntheticConfig amazon = amazon670k_like(1.0);
+  EXPECT_EQ(amazon.feature_dim, 135909u);
+  EXPECT_EQ(amazon.label_dim, 670091u);
+  EXPECT_EQ(amazon.num_train, 490449u);
+  EXPECT_EQ(amazon.num_test, 153025u);
+
+  const SyntheticConfig wiki = wiki325k_like(1.0);
+  EXPECT_EQ(wiki.feature_dim, 1617899u);
+  EXPECT_EQ(wiki.label_dim, 325056u);
+  EXPECT_EQ(wiki.num_train, 1778351u);
+}
+
+TEST(Synthetic, ScaleShrinksProportionally) {
+  const SyntheticConfig half = amazon670k_like(0.5);
+  EXPECT_EQ(half.feature_dim, 135909u / 2);
+  EXPECT_EQ(half.label_dim, 670091u / 2);
+  const SyntheticConfig tiny = amazon670k_like(1e-9);
+  EXPECT_GE(tiny.feature_dim, 2000u);  // floors protect tiny scales
+  EXPECT_GE(tiny.label_dim, 1000u);
+}
+
+}  // namespace
+}  // namespace slide::data

@@ -1,0 +1,124 @@
+#include "data/text_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace slide::data {
+namespace {
+
+CorpusConfig tiny_config() {
+  CorpusConfig cfg;
+  cfg.vocab_size = 500;
+  cfg.num_tokens = 20000;
+  cfg.num_topics = 10;
+  return cfg;
+}
+
+TEST(TextCorpus, GeneratesRequestedTokens) {
+  const auto corpus = generate_corpus(tiny_config());
+  EXPECT_EQ(corpus.size(), 20000u);
+  for (const auto w : corpus) EXPECT_LT(w, 500u);
+}
+
+TEST(TextCorpus, DeterministicForSeed) {
+  const auto a = generate_corpus(tiny_config());
+  const auto b = generate_corpus(tiny_config());
+  EXPECT_EQ(a, b);
+  CorpusConfig other = tiny_config();
+  other.seed = 999;
+  EXPECT_NE(generate_corpus(other), a);
+}
+
+TEST(TextCorpus, UnigramDistributionIsZipfLike) {
+  // With topical drawing disabled, the unigram law is pure Zipf.
+  CorpusConfig cfg = tiny_config();
+  cfg.topical_fraction = 0.0;
+  const auto corpus = generate_corpus(cfg);
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const auto w : corpus) ++counts[w];
+  // Head word should be dramatically more frequent than any mid-rank word.
+  const std::size_t head = counts.count(0) ? counts[0] : 0;
+  std::size_t mid = 0;
+  for (std::uint32_t w = 200; w < 260; ++w) {
+    if (counts.count(w)) mid = std::max(mid, counts[w]);
+  }
+  EXPECT_GT(head, mid * 3);
+}
+
+TEST(TextCorpus, TopicalDrawsCreateLocalCoherence) {
+  // Consecutive tokens share a topic pool, so the chance that two adjacent
+  // tokens are equal is far higher than under the shuffled distribution.
+  CorpusConfig cfg = tiny_config();
+  const auto corpus = generate_corpus(cfg);
+  std::size_t adjacent_equal = 0;
+  for (std::size_t i = 1; i < corpus.size(); ++i) {
+    adjacent_equal += corpus[i] == corpus[i - 1];
+  }
+  std::size_t shuffled_equal = 0;
+  const std::size_t stride = corpus.size() / 2;
+  for (std::size_t i = 0; i < stride; ++i) {
+    shuffled_equal += corpus[i] == corpus[i + stride];
+  }
+  EXPECT_GT(adjacent_equal, 2 * shuffled_equal);
+}
+
+TEST(TextCorpus, SkipgramLabelsComeFromWindow) {
+  CorpusConfig cfg = tiny_config();
+  cfg.num_tokens = 2000;
+  const auto corpus = generate_corpus(cfg);
+  auto [train, test] = make_skipgram_datasets(cfg, 0.8);
+
+  // Rebuild position mapping: examples appear in corpus order and every
+  // example has a one-hot input.
+  ASSERT_GT(train.size(), 0u);
+  for (std::size_t i = 0; i < std::min<std::size_t>(train.size(), 200); ++i) {
+    const auto f = train.features(i);
+    ASSERT_EQ(f.nnz, 1u);
+    EXPECT_EQ(f.values[0], 1.0f);
+    EXPECT_GE(train.labels(i).size(), 1u);
+    EXPECT_LE(train.labels(i).size(), 2 * cfg.window);
+  }
+}
+
+TEST(TextCorpus, SkipgramSplitsTrainTest) {
+  CorpusConfig cfg = tiny_config();
+  auto [train, test] = make_skipgram_datasets(cfg, 0.8);
+  const double ratio =
+      static_cast<double>(train.size()) / static_cast<double>(train.size() + test.size());
+  EXPECT_NEAR(ratio, 0.8, 0.02);
+  EXPECT_EQ(train.feature_dim(), cfg.vocab_size);
+  EXPECT_EQ(train.label_dim(), cfg.vocab_size);
+}
+
+TEST(TextCorpus, FirstExampleMatchesCorpusWindow) {
+  CorpusConfig cfg = tiny_config();
+  cfg.num_tokens = 100;
+  const auto corpus = generate_corpus(cfg);
+  auto [train, test] = make_skipgram_datasets(cfg, 1.0);
+  (void)test;
+  // Example 0 is position 0: labels must be exactly {corpus[1], corpus[2]}
+  // deduplicated.
+  const auto labels = train.labels(0);
+  for (const auto l : labels) {
+    EXPECT_TRUE(l == corpus[1] || l == corpus[2]) << l;
+  }
+  EXPECT_EQ(train.features(0).indices[0], corpus[0]);
+}
+
+TEST(TextCorpus, Text8LikeFullScaleMatchesTable1) {
+  const CorpusConfig cfg = text8_like(1.0);
+  EXPECT_EQ(cfg.vocab_size, 253855u);
+  EXPECT_EQ(cfg.window, 2u);
+  const CorpusConfig small = text8_like(0.001);
+  EXPECT_GE(small.vocab_size, 2000u);
+}
+
+TEST(TextCorpus, RejectsZeroVocab) {
+  CorpusConfig cfg = tiny_config();
+  cfg.vocab_size = 0;
+  EXPECT_THROW(generate_corpus(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slide::data

@@ -1,0 +1,142 @@
+#include "threading/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace slide {
+namespace {
+
+TEST(ThreadPool, StaticForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DynamicForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for_dynamic(10000, 7, [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTotalIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](unsigned, std::size_t, std::size_t) { called = true; });
+  pool.parallel_for_dynamic(0, 4, [&](unsigned, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](unsigned, std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, RanksAreWithinBounds) {
+  ThreadPool pool(6);
+  std::atomic<bool> bad{false};
+  pool.parallel_for_dynamic(5000, 3, [&](unsigned rank, std::size_t, std::size_t) {
+    if (rank >= 6) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, RankIsStablePerThread) {
+  ThreadPool pool(4);
+  // Map each OS thread id to the rank it reported; a thread must always
+  // report the same rank.
+  std::mutex mu;
+  std::map<std::thread::id, unsigned> seen;
+  std::atomic<bool> conflict{false};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for_dynamic(200, 1, [&](unsigned rank, std::size_t, std::size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto [it, inserted] = seen.emplace(std::this_thread::get_id(), rank);
+      if (!inserted && it->second != rank) conflict.store(true);
+    });
+  }
+  EXPECT_FALSE(conflict.load());
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](unsigned, std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](unsigned, std::size_t b, std::size_t e) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ReentrantCallRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](unsigned, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      // Nested call from a worker: must not deadlock.
+      pool.parallel_for(10, [&](unsigned, std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(ThreadPool, ManyConsecutiveJobsDoNotLoseWork) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  for (int j = 0; j < 200; ++j) {
+    pool.parallel_for(100, [&](unsigned, std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<long>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 100);
+}
+
+TEST(ThreadPool, SizeRespectsConstructorArgument) {
+  ThreadPool a(3);
+  EXPECT_EQ(a.size(), 3u);
+  ThreadPool b(0);  // clamped to 1
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolResize) {
+  set_global_pool_threads(3);
+  EXPECT_EQ(global_pool().size(), 3u);
+  set_global_pool_threads(ThreadPool::default_thread_count());
+  EXPECT_EQ(global_pool().size(), ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, DynamicGrainZeroClampsToOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for_dynamic(17, 0, [&](unsigned, std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 17);
+}
+
+}  // namespace
+}  // namespace slide

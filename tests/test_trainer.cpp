@@ -1,0 +1,223 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "threading/thread_pool.h"
+
+namespace slide {
+namespace {
+
+// A small but learnable extreme-classification task.
+std::pair<data::Dataset, data::Dataset> small_task() {
+  data::SyntheticConfig cfg;
+  cfg.feature_dim = 400;
+  cfg.label_dim = 120;
+  cfg.num_train = 1500;
+  cfg.num_test = 300;
+  cfg.avg_nnz = 15;
+  cfg.num_clusters = 12;
+  cfg.noise_fraction = 0.1;
+  cfg.seed = 7;
+  return data::make_xc_datasets(cfg);
+}
+
+NetworkConfig slide_config(std::size_t input, std::size_t labels) {
+  LshLayerConfig lsh;
+  lsh.kind = HashKind::Dwta;
+  lsh.k = 3;
+  lsh.l = 10;
+  lsh.min_active = 32;
+  lsh.bucket_capacity = 64;
+  lsh.rebuild_interval = 16;
+  return make_slide_mlp(input, 24, labels, lsh, Precision::Fp32, 99);
+}
+
+TEST(Trainer, SlideP1ImprovesWithTraining) {
+  auto [train, test] = small_task();
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 64;
+  tcfg.adam.lr = 2e-3f;
+  tcfg.epochs = 6;
+  Trainer trainer(net, tcfg);
+
+  const double before = trainer.evaluate_p_at_1(test);
+  const TrainResult result = trainer.train(train, test);
+  ASSERT_EQ(result.history.size(), 6u);
+  EXPECT_GT(result.final_p_at_1, before + 0.15)
+      << "before=" << before << " after=" << result.final_p_at_1;
+  EXPECT_GT(result.final_p_at_1, 0.3);
+}
+
+TEST(Trainer, LossDecreasesAcrossEpochs) {
+  auto [train, test] = small_task();
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 64;
+  tcfg.adam.lr = 2e-3f;
+  tcfg.epochs = 4;
+  Trainer trainer(net, tcfg);
+  const TrainResult result = trainer.train(train, test);
+  EXPECT_LT(result.history.back().avg_loss, result.history.front().avg_loss);
+}
+
+TEST(Trainer, HistoryBookkeepingIsConsistent) {
+  auto [train, test] = small_task();
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 128;
+  tcfg.epochs = 3;
+  Trainer trainer(net, tcfg);
+  const TrainResult result = trainer.train(train, test);
+  ASSERT_EQ(result.history.size(), 3u);
+  double cum = 0;
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(result.history[e].epoch, e + 1);
+    EXPECT_GT(result.history[e].train_seconds, 0.0);
+    cum += result.history[e].train_seconds;
+    EXPECT_NEAR(result.history[e].cumulative_seconds, cum, 1e-9);
+  }
+  EXPECT_NEAR(result.avg_epoch_seconds, cum / 3, 1e-9);
+  EXPECT_EQ(result.final_p_at_1, result.history.back().p_at_1);
+}
+
+TEST(Trainer, SingleThreadDeterminism) {
+  set_global_pool_threads(1);
+  auto [train, test] = small_task();
+
+  auto run = [&]() {
+    Network net(slide_config(train.feature_dim(), train.label_dim()));
+    TrainerConfig tcfg;
+    tcfg.batch_size = 64;
+    tcfg.epochs = 1;
+    tcfg.seed = 5;
+    Trainer trainer(net, tcfg);
+    trainer.train_one_epoch(train);
+    return std::vector<float>(net.layer(1).weights_f32().begin(),
+                              net.layer(1).weights_f32().end());
+  };
+  const auto w1 = run();
+  const auto w2 = run();
+  EXPECT_EQ(w1, w2);
+  set_global_pool_threads(ThreadPool::default_thread_count());
+}
+
+TEST(Trainer, EvalCapsExamples) {
+  auto [train, test] = small_task();
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  Trainer trainer(net, {});
+  // Smoke: evaluating a 10-example cap must be fast and in [0, 1].
+  const double p = trainer.evaluate_p_at_1(test, 10);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(Trainer, AdamStepCountAdvancesPerBatch) {
+  auto [train, test] = small_task();
+  (void)test;
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 100;
+  Trainer trainer(net, tcfg);
+  trainer.train_one_epoch(train);
+  EXPECT_EQ(net.adam_steps(), (train.size() + 99) / 100);
+}
+
+TEST(Trainer, ShuffleModesAllConverge) {
+  auto [train, test] = small_task();
+  for (const ShuffleMode mode :
+       {ShuffleMode::None, ShuffleMode::Batches, ShuffleMode::Examples}) {
+    Network net(slide_config(train.feature_dim(), train.label_dim()));
+    TrainerConfig tcfg;
+    tcfg.batch_size = 64;
+    tcfg.adam.lr = 2e-3f;
+    tcfg.epochs = 4;
+    tcfg.shuffle = mode;
+    Trainer trainer(net, tcfg);
+    const TrainResult r = trainer.train(train, test);
+    EXPECT_GT(r.final_p_at_1, 0.25) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(Trainer, ExampleShuffleIsDeterministicSingleThread) {
+  set_global_pool_threads(1);
+  auto [train, test] = small_task();
+  (void)test;
+  const auto run = [&]() {
+    Network net(slide_config(train.feature_dim(), train.label_dim()));
+    TrainerConfig tcfg;
+    tcfg.batch_size = 64;
+    tcfg.shuffle = ShuffleMode::Examples;
+    tcfg.seed = 9;
+    Trainer trainer(net, tcfg);
+    trainer.train_one_epoch(train);
+    return std::vector<float>(net.layer(1).weights_f32().begin(),
+                              net.layer(1).weights_f32().end());
+  };
+  EXPECT_EQ(run(), run());
+  set_global_pool_threads(ThreadPool::default_thread_count());
+}
+
+TEST(Trainer, ShuffleModesVisitEveryExampleOncePerEpoch) {
+  // Loss is summed over exactly n examples regardless of ordering policy, so
+  // average loss across modes on an untrained net (lr=0) is identical.
+  auto [train, test] = small_task();
+  (void)test;
+  NetworkConfig ncfg = slide_config(train.feature_dim(), train.label_dim());
+  // Full active set: per-example loss becomes a pure function of the
+  // (frozen) weights, so epoch averages must agree exactly across orderings.
+  ncfg.layers.back().lsh.min_active = train.label_dim();
+  double losses[3];
+  int i = 0;
+  for (const ShuffleMode mode :
+       {ShuffleMode::None, ShuffleMode::Batches, ShuffleMode::Examples}) {
+    Network net(ncfg);
+    TrainerConfig tcfg;
+    tcfg.batch_size = 64;
+    tcfg.adam.lr = 0.0f;  // no learning: loss depends only on coverage
+    tcfg.shuffle = mode;
+    Trainer trainer(net, tcfg);
+    trainer.train_one_epoch(train);
+    losses[i++] = trainer.last_avg_loss();
+  }
+  // Tolerance covers float summation-order differences across threads.
+  EXPECT_NEAR(losses[0], losses[1], 1e-4);
+  EXPECT_NEAR(losses[0], losses[2], 1e-4);
+}
+
+TEST(Trainer, PrecisionAtKEvaluation) {
+  auto [train, test] = small_task();
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 64;
+  tcfg.adam.lr = 2e-3f;
+  tcfg.epochs = 4;
+  Trainer trainer(net, tcfg);
+  trainer.train(train, test);
+
+  const double p1 = trainer.evaluate_p_at_k(test, 1, 200);
+  const double p1_ref = trainer.evaluate_p_at_1(test, 200);
+  EXPECT_NEAR(p1, p1_ref, 1e-9);  // k=1 must agree with the dedicated path
+
+  const double p5 = trainer.evaluate_p_at_k(test, 5, 200);
+  EXPECT_GT(p5, 0.0);
+  EXPECT_LE(p5, 1.0);
+  EXPECT_EQ(trainer.evaluate_p_at_k(test, 0, 200), 0.0);
+}
+
+TEST(Trainer, WorksWithFragmentedLayout) {
+  auto [train, test] = small_task();
+  const data::Dataset frag_train = train.with_layout(data::Layout::Fragmented);
+  Network net(slide_config(train.feature_dim(), train.label_dim()));
+  TrainerConfig tcfg;
+  tcfg.batch_size = 64;
+  tcfg.adam.lr = 2e-3f;
+  tcfg.epochs = 2;
+  Trainer trainer(net, tcfg);
+  const TrainResult r = trainer.train(frag_train, test);
+  EXPECT_GT(r.final_p_at_1, 0.1);
+}
+
+}  // namespace
+}  // namespace slide

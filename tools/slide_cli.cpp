@@ -1,0 +1,270 @@
+// slide_cli — command-line front end for the library.
+//
+//   slide_cli gen   --dataset amazon|wiki|text8 --scale 0.01 --out prefix
+//   slide_cli train --train f.txt --test f.txt [training flags] [--save m.bin]
+//   slide_cli eval  --model m.bin --test f.txt [--topk 5]
+//   slide_cli info  --model m.bin
+//
+// `gen` materializes a synthetic paper-statistics dataset in XC format (the
+// same format the real Amazon-670K / WikiLSHTC-325K downloads use, so real
+// files work everywhere a generated one does).
+#include <cstdio>
+#include <string>
+
+#include "baseline/dense_network.h"
+#include "cli/args.h"
+#include "core/network.h"
+#include "core/serialize.h"
+#include "core/trainer.h"
+#include "data/svm_reader.h"
+#include "data/synthetic.h"
+#include "data/text_corpus.h"
+#include "kernels/kernels.h"
+#include "threading/thread_pool.h"
+
+namespace {
+
+using namespace slide;
+
+bool help_requested(const cli::ArgParser& args, int argc, const char* const* argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::printf("%s", args.help().c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_gen(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli gen: write a synthetic XC-format dataset");
+  args.add_string("dataset", "amazon", "amazon | wiki | text8");
+  args.add_double("scale", 0.01, "fraction of the paper's dataset dimensions");
+  args.add_required_string("out", "output prefix; writes <out>.train.txt/.test.txt");
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  const std::string kind = args.get_string("dataset");
+  const double scale = args.get_double("scale");
+
+  data::Dataset train(1, 1), test(1, 1);
+  if (kind == "amazon" || kind == "wiki") {
+    auto cfg = kind == "amazon" ? data::amazon670k_like(scale) : data::wiki325k_like(scale);
+    auto pair = data::make_xc_datasets(cfg);
+    train = std::move(pair.first);
+    test = std::move(pair.second);
+  } else if (kind == "text8") {
+    data::CorpusConfig cfg = data::text8_like(scale);
+    auto pair = data::make_skipgram_datasets(cfg, 0.8);
+    train = std::move(pair.first);
+    test = std::move(pair.second);
+  } else {
+    std::fprintf(stderr, "error: unknown dataset '%s'\n", kind.c_str());
+    return 1;
+  }
+
+  const std::string prefix = args.get_string("out");
+  data::write_xc_file(prefix + ".train.txt", train);
+  data::write_xc_file(prefix + ".test.txt", test);
+  std::printf("%s\n", data::format_stats(data::compute_stats(train), prefix + ".train.txt")
+                          .c_str());
+  std::printf("%s\n",
+              data::format_stats(data::compute_stats(test), prefix + ".test.txt").c_str());
+  return 0;
+}
+
+bool apply_common_system_flags(const cli::ArgParser& args) {
+  if (args.was_set("threads")) {
+    set_global_pool_threads(static_cast<unsigned>(args.get_int("threads")));
+  }
+  const std::string isa = args.get_string("isa");
+  if (isa == "scalar") {
+    kernels::set_isa(kernels::Isa::Scalar);
+  } else if (isa == "avx512") {
+    if (!kernels::set_isa(kernels::Isa::Avx512)) {
+      std::fprintf(stderr, "error: AVX-512 not available on this CPU\n");
+      return false;
+    }
+  } else if (isa != "auto") {
+    std::fprintf(stderr, "error: --isa must be auto|scalar|avx512\n");
+    return false;
+  }
+  return true;
+}
+
+int cmd_train(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli train: train a SLIDE model on XC-format data");
+  args.add_required_string("train", "training file (XC format)");
+  args.add_required_string("test", "test file (XC format)");
+  args.add_int("hidden", 128, "hidden layer width");
+  args.add_string("hash", "dwta", "output-layer sampling: dwta | simhash | none (dense)");
+  args.add_int("k", 5, "hashes (DWTA) or bits (SimHash) per table");
+  args.add_int("l", 50, "number of hash tables");
+  args.add_int("min-active", 0, "active-set floor (0 = label_dim/32)");
+  args.add_int("epochs", 5, "training epochs");
+  args.add_int("batch", 256, "batch size");
+  args.add_double("lr", 1e-3, "ADAM learning rate");
+  args.add_string("precision", "fp32", "fp32 | bf16act | bf16all");
+  args.add_string("shuffle", "batches", "none | batches | examples");
+  args.add_string("maintenance", "rebuild", "hash-table upkeep: rebuild | incremental");
+  args.add_int("rebuild-interval", 16, "batches between table refreshes");
+  args.add_string("save", "", "write a checkpoint here after training");
+  args.add_int("threads", 0, "worker threads (default: all hardware threads)");
+  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx512");
+  args.add_int("seed", 42, "random seed");
+  args.add_flag("linear-hidden", "use a linear (word2vec-style) hidden layer");
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  if (!apply_common_system_flags(args)) return 1;
+
+  const data::Dataset train = data::read_xc_file(args.get_string("train"));
+  const data::Dataset test = data::read_xc_file(args.get_string("test"));
+  std::printf("%s\n", data::format_stats(data::compute_stats(train), "train").c_str());
+
+  LshLayerConfig lsh;
+  const std::string hash = args.get_string("hash");
+  if (hash == "dwta") {
+    lsh.kind = HashKind::Dwta;
+  } else if (hash == "simhash") {
+    lsh.kind = HashKind::SimHash;
+  } else if (hash == "none") {
+    lsh.kind = HashKind::None;
+  } else {
+    std::fprintf(stderr, "error: --hash must be dwta|simhash|none\n");
+    return 1;
+  }
+  lsh.k = static_cast<int>(args.get_int("k"));
+  lsh.l = static_cast<int>(args.get_int("l"));
+  lsh.min_active = args.get_int("min-active") > 0
+                       ? static_cast<std::size_t>(args.get_int("min-active"))
+                       : std::max<std::size_t>(64, train.label_dim() / 32);
+  lsh.rebuild_interval = static_cast<std::size_t>(args.get_int("rebuild-interval"));
+  lsh.maintenance = args.get_string("maintenance") == "incremental"
+                        ? LshMaintenance::Incremental
+                        : LshMaintenance::Rebuild;
+
+  Precision precision = Precision::Fp32;
+  if (args.get_string("precision") == "bf16act") precision = Precision::Bf16Activations;
+  if (args.get_string("precision") == "bf16all") precision = Precision::Bf16All;
+
+  NetworkConfig ncfg = make_slide_mlp(train.feature_dim(),
+                                      static_cast<std::size_t>(args.get_int("hidden")),
+                                      train.label_dim(), lsh, precision,
+                                      static_cast<std::uint64_t>(args.get_int("seed")));
+  if (args.get_flag("linear-hidden")) ncfg.layers[0].activation = Activation::Linear;
+  Network net(ncfg);
+  std::printf("network: %zu parameters, backend=%s\n", net.num_params(),
+              kernels::active_isa_name());
+
+  TrainerConfig tcfg;
+  tcfg.batch_size = static_cast<std::size_t>(args.get_int("batch"));
+  tcfg.adam.lr = static_cast<float>(args.get_double("lr"));
+  tcfg.epochs = static_cast<std::size_t>(args.get_int("epochs"));
+  const std::string shuffle = args.get_string("shuffle");
+  tcfg.shuffle = shuffle == "none" ? ShuffleMode::None
+                 : shuffle == "examples" ? ShuffleMode::Examples
+                                         : ShuffleMode::Batches;
+  Trainer trainer(net, tcfg);
+  const TrainResult result = trainer.train(train, test);
+  for (const auto& e : result.history) {
+    std::printf("epoch %zu: %.3fs  loss=%.4f  P@1=%.4f\n", e.epoch, e.train_seconds,
+                e.avg_loss, e.p_at_1);
+  }
+  std::printf("final: P@1=%.4f P@5=%.4f avg_epoch=%.3fs\n",
+              trainer.evaluate_p_at_1(test, 5000), trainer.evaluate_p_at_k(test, 5, 5000),
+              result.avg_epoch_seconds);
+
+  const std::string save = args.get_string("save");
+  if (!save.empty()) {
+    save_network_file(net, save);
+    std::printf("checkpoint written to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli eval: evaluate a checkpoint on XC-format data");
+  args.add_required_string("model", "checkpoint from `slide_cli train --save`");
+  args.add_required_string("test", "test file (XC format)");
+  args.add_int("topk", 5, "report P@1..P@k");
+  args.add_int("max-examples", 0, "evaluation cap (0 = all)");
+  args.add_int("threads", 0, "worker threads");
+  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx512");
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  if (!apply_common_system_flags(args)) return 1;
+
+  Network net = load_network_file(args.get_string("model"));
+  const data::Dataset test = data::read_xc_file(args.get_string("test"));
+  Trainer trainer(net, {});
+  const auto max_examples = static_cast<std::size_t>(args.get_int("max-examples"));
+  for (std::int64_t k = 1; k <= args.get_int("topk"); ++k) {
+    std::printf("P@%lld = %.4f\n", static_cast<long long>(k),
+                trainer.evaluate_p_at_k(test, static_cast<std::size_t>(k), max_examples));
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli info: describe a checkpoint");
+  args.add_required_string("model", "checkpoint file");
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  Network net = load_network_file(args.get_string("model"));
+  const NetworkConfig& cfg = net.config();
+  std::printf("input_dim: %zu\nprecision: %s\nadam steps: %llu\nparameters: %zu\n",
+              cfg.input_dim,
+              cfg.precision == Precision::Fp32        ? "fp32"
+              : cfg.precision == Precision::Bf16All   ? "bf16all"
+                                                      : "bf16act",
+              static_cast<unsigned long long>(net.adam_steps()), net.num_params());
+  for (std::size_t i = 0; i < cfg.layers.size(); ++i) {
+    const LayerConfig& lc = cfg.layers[i];
+    std::printf("layer %zu: dim=%zu act=%s", i, lc.dim,
+                lc.activation == Activation::ReLU      ? "relu"
+                : lc.activation == Activation::Softmax ? "softmax"
+                                                       : "linear");
+    if (lc.lsh.kind != HashKind::None) {
+      std::printf(" lsh=%s k=%d l=%d cap=%u min_active=%zu",
+                  lc.lsh.kind == HashKind::Dwta ? "dwta" : "simhash", lc.lsh.k, lc.lsh.l,
+                  lc.lsh.bucket_capacity, lc.lsh.min_active);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: slide_cli <gen|train|eval|info> [flags]\n"
+                 "       slide_cli <command> --help\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") return cmd_gen(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "eval") return cmd_eval(argc, argv);
+    if (command == "info") return cmd_info(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s' (expected gen|train|eval|info)\n",
+               command.c_str());
+  return 1;
+}
