@@ -28,14 +28,15 @@ void layout_ablation(const Workload& w, std::size_t epochs) {
               w.name.c_str(), cpx_threads(), w.train.size());
   const data::Dataset fragmented = w.train.with_layout(data::Layout::Fragmented);
 
-  kernels::set_isa(kernels::Isa::Avx512);
+  const kernels::Isa ambient = kernels::active_isa();  // honors SLIDE_ISA
+  kernels::set_isa(ambient == kernels::Isa::Scalar ? kernels::preferred_isa() : ambient);
   const SystemResult opt =
-      run_optimized(w, cpx_threads(), Precision::Fp32, epochs, "opt: coalesced + AVX-512");
+      run_optimized(w, cpx_threads(), Precision::Fp32, epochs, "opt: coalesced + vector");
 
   Workload wf = w;  // same test set; fragmented train set
   wf.train = fragmented.head(fragmented.size());
   const SystemResult frag = run_optimized(wf, cpx_threads(), Precision::Fp32, epochs,
-                                          "opt: fragmented data + AVX-512");
+                                          "opt: fragmented data + vector");
 
   // Random example order: destroys the sequential prefetch pattern over the
   // coalesced arena (Section 4.1's "consecutive DRAM locations" argument).
@@ -48,7 +49,7 @@ void layout_ablation(const Workload& w, std::size_t epochs) {
       run_optimized(w, cpx_threads(), Precision::Fp32, epochs, "opt: coalesced + scalar");
   const SystemResult naive =
       run_naive(w, cpx_threads(), epochs, "naive: fragmented + scalar");
-  kernels::set_isa(kernels::Isa::Avx512);
+  kernels::set_isa(ambient);
 
   std::printf("%-36s %14s %12s\n", "configuration", "epoch (s)", "vs row 1");
   const SystemResult* rows[] = {&opt, &frag, &shuffled, &opt_scalar, &naive};

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+#include "util/logging.h"
+
 namespace slide::cli {
 
 ArgParser::ArgParser(std::string program_description)
@@ -144,5 +147,26 @@ bool ArgParser::get_flag(const std::string& name) const {
 }
 
 bool ArgParser::was_set(const std::string& name) const { return specs_.at(name).set; }
+
+void add_isa_flag(ArgParser& args) {
+  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx2 | avx512");
+}
+
+bool apply_isa_flag(const ArgParser& args, std::string* error) {
+  const std::string& value = args.get_string("isa");
+  if (value.empty() || value == "auto") return true;
+  kernels::Isa isa;
+  if (!kernels::parse_isa(value, &isa)) {
+    if (error != nullptr) {
+      *error = "--isa must be auto|scalar|avx2|avx512, got '" + value + "'";
+    }
+    return false;
+  }
+  if (!kernels::set_isa(isa)) {
+    log_warn("--isa ", value, " is unavailable on this CPU/build; using ",
+             kernels::active_isa_name());
+  }
+  return true;
+}
 
 }  // namespace slide::cli

@@ -62,4 +62,15 @@ class ArgParser {
   std::string error_;
 };
 
+// --- Standard flags shared across tools -----------------------------------
+
+// Declares the standard --isa flag (auto | scalar | avx2 | avx512).
+void add_isa_flag(ArgParser& args);
+
+// Applies a parsed --isa value to the kernel dispatcher.  "auto" keeps the
+// automatic selection; a recognized but unavailable backend logs a warning
+// and falls back to the best available one.  Returns false (filling *error
+// if given) only when the value is not a recognized ISA name.
+bool apply_isa_flag(const ArgParser& args, std::string* error);
+
 }  // namespace slide::cli

@@ -1,0 +1,46 @@
+// AVX2 backend (8-lane fp32) — the paper's vectorization story on the
+// commodity and cloud CPUs that lack AVX-512.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma; it must
+// never be entered on a CPU without those features (the dispatcher guarantees
+// that).  Everything lane-width-generic lives in kernels_generic.h
+// instantiated against SimdAvx2: 8 fp32 lanes per __m256, FMA3 accumulation,
+// _mm256_i32gather_ps for the sparse-dot/gather kernels, vector-mask tails
+// for fp32 and F16C-free bf16 via 16-bit shifts (16 bf16 values per pair of
+// __m256 after widening).  Only the WTA winner extraction, which wants the
+// movemask idiom, remains hand-written below.
+#include <immintrin.h>
+
+#include "kernels/backend_tables.h"
+#include "kernels/kernels_generic.h"
+#include "kernels/simd.h"
+
+namespace slide::kernels {
+namespace {
+
+void wta_winners_avx2(const float* values, std::size_t num_bins, std::uint8_t* winners) {
+  // One 8-wide bin per __m256: broadcast the horizontal max, then the first
+  // equal lane is the winner (matching the scalar backend's tie rule).
+  // Without opmask registers, the lane-equality mask comes from movemask.
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    const __m256 v = _mm256_loadu_ps(values + 8 * b);
+    __m256 t = _mm256_max_ps(v, _mm256_permute2f128_ps(v, v, 1));
+    t = _mm256_max_ps(t, _mm256_shuffle_ps(t, t, _MM_SHUFFLE(1, 0, 3, 2)));
+    t = _mm256_max_ps(t, _mm256_shuffle_ps(t, t, _MM_SHUFFLE(2, 3, 0, 1)));
+    const unsigned eq =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_cmp_ps(v, t, _CMP_EQ_OQ)));
+    winners[b] = eq == 0 ? 0 : static_cast<std::uint8_t>(__builtin_ctz(eq));
+  }
+}
+
+constexpr KernelTable build_table() {
+  KernelTable t = make_kernel_table<SimdAvx2>("avx2");
+  t.wta_winners_f32 = wta_winners_avx2;
+  return t;
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = build_table();
+
+}  // namespace slide::kernels

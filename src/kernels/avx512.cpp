@@ -2,588 +2,24 @@
 //
 // This translation unit is the only one compiled with -mavx512{f,bw,dq,vl};
 // it must never be entered on a CPU without those features (the dispatcher
-// guarantees that).  Tail elements are handled with AVX-512 write/read masks
-// rather than scalar epilogues so every path below is exercised for every
-// size in the unit tests.
+// guarantees that).  Everything lane-width-generic lives in kernels_generic.h
+// instantiated against SimdAvx512 (16 fp32 lanes, opmask tails, native
+// gather/scatter); only the kernels where AVX-512 genuinely diverges from
+// the shared shape remain hand-written below.
 #include <immintrin.h>
 
-#include <cfloat>
-
 #include "kernels/backend_tables.h"
+#include "kernels/kernels_generic.h"
+#include "kernels/simd.h"
 
 namespace slide::kernels {
 namespace {
 
-inline __mmask16 tail_mask16(std::size_t rem) {
-  return static_cast<__mmask16>((1u << rem) - 1u);
-}
-
-// Widen 16 bf16 values (as raw u16) to fp32 lanes.
-inline __m512 widen_bf16(__m256i raw) {
-  return _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16));
-}
-
-inline __m256i load_bf16(const bf16* p) {
-  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
-}
-
-inline __m256i load_bf16_tail(const bf16* p, std::size_t rem) {
-  return _mm256_maskz_loadu_epi16(tail_mask16(rem), p);
-}
-
-// --- exp ----------------------------------------------------------------
-// Cephes-style vector expf: exp(x) = 2^n * e^r with n = round(x*log2e) and a
-// degree-5 minimax polynomial for e^r.  Max relative error ~2 ulp, plenty for
-// softmax (and validated against std::exp in the tests).
-inline __m512 exp512_ps(__m512 x) {
-  const __m512 kLog2e = _mm512_set1_ps(1.442695040888963387f);
-  const __m512 kLn2Hi = _mm512_set1_ps(0.693359375f);
-  const __m512 kLn2Lo = _mm512_set1_ps(-2.12194440e-4f);
-  const __m512 kMax = _mm512_set1_ps(88.3762626647950f);
-  const __m512 kMin = _mm512_set1_ps(-87.3365478515625f);
-
-  x = _mm512_max_ps(_mm512_min_ps(x, kMax), kMin);
-
-  __m512 fx = _mm512_roundscale_ps(_mm512_mul_ps(x, kLog2e),
-                                   _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  x = _mm512_fnmadd_ps(fx, kLn2Hi, x);
-  x = _mm512_fnmadd_ps(fx, kLn2Lo, x);
-
-  const __m512 c0 = _mm512_set1_ps(1.9875691500e-4f);
-  const __m512 c1 = _mm512_set1_ps(1.3981999507e-3f);
-  const __m512 c2 = _mm512_set1_ps(8.3334519073e-3f);
-  const __m512 c3 = _mm512_set1_ps(4.1665795894e-2f);
-  const __m512 c4 = _mm512_set1_ps(1.6666665459e-1f);
-  const __m512 c5 = _mm512_set1_ps(5.0000001201e-1f);
-
-  __m512 y = c0;
-  y = _mm512_fmadd_ps(y, x, c1);
-  y = _mm512_fmadd_ps(y, x, c2);
-  y = _mm512_fmadd_ps(y, x, c3);
-  y = _mm512_fmadd_ps(y, x, c4);
-  y = _mm512_fmadd_ps(y, x, c5);
-  y = _mm512_fmadd_ps(y, _mm512_mul_ps(x, x), _mm512_add_ps(x, _mm512_set1_ps(1.0f)));
-
-  const __m512i n = _mm512_cvtps_epi32(fx);
-  const __m512i pow2 = _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23);
-  return _mm512_mul_ps(y, _mm512_castsi512_ps(pow2));
-}
-
-// --- dots ----------------------------------------------------------------
-
-float v_dot_f32(const float* a, const float* b, std::size_t n) {
-  __m512 acc0 = _mm512_setzero_ps();
-  __m512 acc1 = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 32 <= n; i += 32) {
-    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
-    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16), _mm512_loadu_ps(b + i + 16), acc1);
-  }
-  for (; i + 16 <= n; i += 16) {
-    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, a + i), _mm512_maskz_loadu_ps(k, b + i),
-                           acc1);
-  }
-  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
-}
-
-float v_dot_bf16_f32(const bf16* a, const float* b, std::size_t n) {
-  __m512 acc = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    acc = _mm512_fmadd_ps(widen_bf16(load_bf16(a + i)), _mm512_loadu_ps(b + i), acc);
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    acc = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(a + i, rem)),
-                          _mm512_maskz_loadu_ps(tail_mask16(rem), b + i), acc);
-  }
-  return _mm512_reduce_add_ps(acc);
-}
-
-float v_dot_bf16_bf16(const bf16* a, const bf16* b, std::size_t n) {
-  __m512 acc0 = _mm512_setzero_ps();
-  __m512 acc1 = _mm512_setzero_ps();
-  std::size_t i = 0;
-  // One 512-bit load per operand feeds two widened FMAs (32 bf16 lanes).
-  for (; i + 32 <= n; i += 32) {
-    acc0 = _mm512_fmadd_ps(widen_bf16(load_bf16(a + i)), widen_bf16(load_bf16(b + i)), acc0);
-    acc1 = _mm512_fmadd_ps(widen_bf16(load_bf16(a + i + 16)),
-                           widen_bf16(load_bf16(b + i + 16)), acc1);
-  }
-  for (; i + 16 <= n; i += 16) {
-    acc0 = _mm512_fmadd_ps(widen_bf16(load_bf16(a + i)), widen_bf16(load_bf16(b + i)), acc0);
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    acc1 = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(a + i, rem)),
-                           widen_bf16(load_bf16_tail(b + i, rem)), acc1);
-  }
-  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
-}
-
-float v_sparse_dot_f32(const std::uint32_t* idx, const float* val, std::size_t nnz,
-                       const float* w) {
-  __m512 acc = _mm512_setzero_ps();
-  std::size_t k = 0;
-  for (; k + 16 <= nnz; k += 16) {
-    const __m512i vi =
-        _mm512_loadu_si512(reinterpret_cast<const void*>(idx + k));
-    const __m512 wv = _mm512_i32gather_ps(vi, w, 4);
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(val + k), wv, acc);
-  }
-  if (k < nnz) {
-    const __mmask16 m = tail_mask16(nnz - k);
-    const __m512i vi = _mm512_maskz_loadu_epi32(m, idx + k);
-    const __m512 wv = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), m, vi, w, 4);
-    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, val + k), wv, acc);
-  }
-  return _mm512_reduce_add_ps(acc);
-}
-
-float v_sparse_dot_bf16(const std::uint32_t* idx, const float* val, std::size_t nnz,
-                        const bf16* w) {
-  // bf16 rows cannot be gathered directly (vpgatherdd works on 32-bit
-  // elements); gather element-wise but keep the FMA accumulation vectorized
-  // by staging 16 widened weights at a time.
-  alignas(64) float staged[16];
-  __m512 acc = _mm512_setzero_ps();
-  std::size_t k = 0;
-  for (; k + 16 <= nnz; k += 16) {
-    for (int j = 0; j < 16; ++j) staged[j] = w[idx[k + j]].to_float();
-    acc = _mm512_fmadd_ps(_mm512_loadu_ps(val + k), _mm512_load_ps(staged), acc);
-  }
-  float s = _mm512_reduce_add_ps(acc);
-  for (; k < nnz; ++k) s += val[k] * w[idx[k]].to_float();
-  return s;
-}
-
-// --- axpy family ----------------------------------------------------------
-
-void v_axpy_f32(float alpha, const float* x, float* y, std::size_t n) {
-  const __m512 va = _mm512_set1_ps(alpha);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(va, _mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    const __m512 r = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(k, x + i),
-                                     _mm512_maskz_loadu_ps(k, y + i));
-    _mm512_mask_storeu_ps(y + i, k, r);
-  }
-}
-
-void v_axpy_bf16(float alpha, const bf16* x, float* y, std::size_t n) {
-  const __m512 va = _mm512_set1_ps(alpha);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm512_storeu_ps(
-        y + i, _mm512_fmadd_ps(va, widen_bf16(load_bf16(x + i)), _mm512_loadu_ps(y + i)));
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    const __mmask16 k = tail_mask16(rem);
-    const __m512 r = _mm512_fmadd_ps(va, widen_bf16(load_bf16_tail(x + i, rem)),
-                                     _mm512_maskz_loadu_ps(k, y + i));
-    _mm512_mask_storeu_ps(y + i, k, r);
-  }
-}
-
-void v_scatter_axpy_f32(float alpha, const std::uint32_t* idx, const float* val,
-                        std::size_t nnz, float* w) {
-  // Requires unique indices within one call: gather/modify/scatter would lose
-  // updates on duplicates.  SparseBatch guarantees strictly increasing
-  // indices per example.
-  const __m512 va = _mm512_set1_ps(alpha);
-  std::size_t k = 0;
-  for (; k + 16 <= nnz; k += 16) {
-    const __m512i vi = _mm512_loadu_si512(reinterpret_cast<const void*>(idx + k));
-    const __m512 wv = _mm512_i32gather_ps(vi, w, 4);
-    const __m512 r = _mm512_fmadd_ps(va, _mm512_loadu_ps(val + k), wv);
-    _mm512_i32scatter_ps(w, vi, r, 4);
-  }
-  for (; k < nnz; ++k) w[idx[k]] += alpha * val[k];
-}
-
-// --- elementwise -----------------------------------------------------------
-
-void v_scale_f32(float alpha, float* x, std::size_t n) {
-  const __m512 va = _mm512_set1_ps(alpha);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm512_storeu_ps(x + i, _mm512_mul_ps(va, _mm512_loadu_ps(x + i)));
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    _mm512_mask_storeu_ps(x + i, k, _mm512_mul_ps(va, _mm512_maskz_loadu_ps(k, x + i)));
-  }
-}
-
-void v_fill_f32(float* x, std::size_t n, float value) {
-  const __m512 v = _mm512_set1_ps(value);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) _mm512_storeu_ps(x + i, v);
-  if (i < n) _mm512_mask_storeu_ps(x + i, tail_mask16(n - i), v);
-}
-
-void v_relu_f32(float* x, std::size_t n) {
-  const __m512 zero = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm512_storeu_ps(x + i, _mm512_max_ps(zero, _mm512_loadu_ps(x + i)));
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    _mm512_mask_storeu_ps(x + i, k, _mm512_max_ps(zero, _mm512_maskz_loadu_ps(k, x + i)));
-  }
-}
-
-float v_reduce_sum_f32(const float* x, std::size_t n) {
-  __m512 acc = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) acc = _mm512_add_ps(acc, _mm512_loadu_ps(x + i));
-  if (i < n) acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(tail_mask16(n - i), x + i));
-  return _mm512_reduce_add_ps(acc);
-}
-
-float v_reduce_max_f32(const float* x, std::size_t n) {
-  __m512 acc = _mm512_set1_ps(-FLT_MAX);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) acc = _mm512_max_ps(acc, _mm512_loadu_ps(x + i));
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    acc = _mm512_mask_max_ps(acc, k, acc, _mm512_maskz_loadu_ps(k, x + i));
-  }
-  return _mm512_reduce_max_ps(acc);
-}
-
-std::size_t v_argmax_f32(const float* x, std::size_t n) {
-  if (n == 0) return 0;
-  __m512 vmax = _mm512_set1_ps(-FLT_MAX);
-  __m512i vidx = _mm512_setzero_si512();
-  __m512i cur = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
-  const __m512i step = _mm512_set1_epi32(16);
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m512 v = _mm512_loadu_ps(x + i);
-    const __mmask16 gt = _mm512_cmp_ps_mask(v, vmax, _CMP_GT_OQ);
-    vmax = _mm512_mask_mov_ps(vmax, gt, v);
-    vidx = _mm512_mask_mov_epi32(vidx, gt, cur);
-    cur = _mm512_add_epi32(cur, step);
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    const __m512 v = _mm512_mask_loadu_ps(_mm512_set1_ps(-FLT_MAX), k, x + i);
-    const __mmask16 gt = _mm512_cmp_ps_mask(v, vmax, _CMP_GT_OQ);
-    vmax = _mm512_mask_mov_ps(vmax, gt, v);
-    vidx = _mm512_mask_mov_epi32(vidx, gt, cur);
-  }
-  alignas(64) float lane_val[16];
-  alignas(64) std::uint32_t lane_idx[16];
-  _mm512_store_ps(lane_val, vmax);
-  _mm512_store_si512(reinterpret_cast<void*>(lane_idx), vidx);
-  std::size_t best = 0;
-  for (int j = 1; j < 16; ++j) {
-    if (lane_val[j] > lane_val[best] ||
-        (lane_val[j] == lane_val[best] && lane_idx[j] < lane_idx[best])) {
-      best = static_cast<std::size_t>(j);
-    }
-  }
-  return lane_idx[best];
-}
-
-void v_softmax_f32(float* x, std::size_t n) {
-  if (n == 0) return;
-  const __m512 vm = _mm512_set1_ps(v_reduce_max_f32(x, n));
-  __m512 vsum = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const __m512 e = exp512_ps(_mm512_sub_ps(_mm512_loadu_ps(x + i), vm));
-    _mm512_storeu_ps(x + i, e);
-    vsum = _mm512_add_ps(vsum, e);
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    const __m512 e = exp512_ps(_mm512_sub_ps(_mm512_maskz_loadu_ps(k, x + i), vm));
-    _mm512_mask_storeu_ps(x + i, k, e);
-    vsum = _mm512_mask_add_ps(vsum, k, vsum, e);
-  }
-  v_scale_f32(1.0f / _mm512_reduce_add_ps(vsum), x, n);
-}
-
-// --- bf16 conversion --------------------------------------------------------
-
-inline __m256i round_to_bf16_bits(__m512 v) {
-  const __m512i u = _mm512_castps_si512(v);
-  const __m512i one = _mm512_set1_epi32(1);
-  const __m512i bias = _mm512_add_epi32(_mm512_set1_epi32(0x7FFF),
-                                        _mm512_and_si512(_mm512_srli_epi32(u, 16), one));
-  __m512i r = _mm512_srli_epi32(_mm512_add_epi32(u, bias), 16);
-  // Quiet NaNs instead of rounding them toward infinity.
-  const __mmask16 nan = _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
-  const __m512i qnan =
-      _mm512_or_si512(_mm512_srli_epi32(u, 16), _mm512_set1_epi32(0x0040));
-  r = _mm512_mask_mov_epi32(r, nan, qnan);
-  return _mm512_cvtepi32_epi16(r);
-}
-
-void v_fp32_to_bf16(const float* src, bf16* dst, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        round_to_bf16_bits(_mm512_loadu_ps(src + i)));
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    const __m256i r = round_to_bf16_bits(_mm512_maskz_loadu_ps(tail_mask16(rem), src + i));
-    _mm256_mask_storeu_epi16(dst + i, tail_mask16(rem), r);
-  }
-}
-
-void v_bf16_to_fp32(const bf16* src, float* dst, std::size_t n) {
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    _mm512_storeu_ps(dst + i, widen_bf16(load_bf16(src + i)));
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    _mm512_mask_storeu_ps(dst + i, tail_mask16(rem), widen_bf16(load_bf16_tail(src + i, rem)));
-  }
-}
-
-// --- ADAM (Fig. 3) ----------------------------------------------------------
-
-struct AdamVectors {
-  __m512 m, v, update;
-};
-
-inline AdamVectors adam_core(__m512 g, __m512 m, __m512 v, __m512 b1, __m512 b2, __m512 lr,
-                             __m512 eps, __m512 inv1, __m512 inv2) {
-  const __m512 one = _mm512_set1_ps(1.0f);
-  m = _mm512_fmadd_ps(b1, m, _mm512_mul_ps(_mm512_sub_ps(one, b1), g));
-  v = _mm512_fmadd_ps(b2, v, _mm512_mul_ps(_mm512_sub_ps(one, b2), _mm512_mul_ps(g, g)));
-  const __m512 mhat = _mm512_mul_ps(m, inv1);
-  const __m512 vhat = _mm512_mul_ps(v, inv2);
-  const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(vhat), eps);
-  const __m512 update = _mm512_div_ps(_mm512_mul_ps(lr, mhat), denom);
-  return {m, v, update};
-}
-
-void v_adam_step_f32(float* w, float* m, float* v, float* g, std::size_t n, float lr,
-                     float beta1, float beta2, float eps, float inv_bias1, float inv_bias2) {
-  const __m512 vb1 = _mm512_set1_ps(beta1);
-  const __m512 vb2 = _mm512_set1_ps(beta2);
-  const __m512 vlr = _mm512_set1_ps(lr);
-  const __m512 veps = _mm512_set1_ps(eps);
-  const __m512 vin1 = _mm512_set1_ps(inv_bias1);
-  const __m512 vin2 = _mm512_set1_ps(inv_bias2);
-  const __m512 zero = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const auto r = adam_core(_mm512_loadu_ps(g + i), _mm512_loadu_ps(m + i),
-                             _mm512_loadu_ps(v + i), vb1, vb2, vlr, veps, vin1, vin2);
-    _mm512_storeu_ps(m + i, r.m);
-    _mm512_storeu_ps(v + i, r.v);
-    _mm512_storeu_ps(w + i, _mm512_sub_ps(_mm512_loadu_ps(w + i), r.update));
-    _mm512_storeu_ps(g + i, zero);
-  }
-  if (i < n) {
-    const __mmask16 k = tail_mask16(n - i);
-    const auto r = adam_core(_mm512_maskz_loadu_ps(k, g + i), _mm512_maskz_loadu_ps(k, m + i),
-                             _mm512_maskz_loadu_ps(k, v + i), vb1, vb2, vlr, veps, vin1, vin2);
-    _mm512_mask_storeu_ps(m + i, k, r.m);
-    _mm512_mask_storeu_ps(v + i, k, r.v);
-    _mm512_mask_storeu_ps(w + i, k,
-                          _mm512_sub_ps(_mm512_maskz_loadu_ps(k, w + i), r.update));
-    _mm512_mask_storeu_ps(g + i, k, zero);
-  }
-}
-
-void v_adam_step_bf16(bf16* w, float* m, float* v, float* g, std::size_t n, float lr,
-                      float beta1, float beta2, float eps, float inv_bias1, float inv_bias2) {
-  const __m512 vb1 = _mm512_set1_ps(beta1);
-  const __m512 vb2 = _mm512_set1_ps(beta2);
-  const __m512 vlr = _mm512_set1_ps(lr);
-  const __m512 veps = _mm512_set1_ps(eps);
-  const __m512 vin1 = _mm512_set1_ps(inv_bias1);
-  const __m512 vin2 = _mm512_set1_ps(inv_bias2);
-  const __m512 zero = _mm512_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 16 <= n; i += 16) {
-    const auto r = adam_core(_mm512_loadu_ps(g + i), _mm512_loadu_ps(m + i),
-                             _mm512_loadu_ps(v + i), vb1, vb2, vlr, veps, vin1, vin2);
-    _mm512_storeu_ps(m + i, r.m);
-    _mm512_storeu_ps(v + i, r.v);
-    const __m512 wv = _mm512_sub_ps(widen_bf16(load_bf16(w + i)), r.update);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i), round_to_bf16_bits(wv));
-    _mm512_storeu_ps(g + i, zero);
-  }
-  if (i < n) {
-    const std::size_t rem = n - i;
-    const __mmask16 k = tail_mask16(rem);
-    const auto r = adam_core(_mm512_maskz_loadu_ps(k, g + i), _mm512_maskz_loadu_ps(k, m + i),
-                             _mm512_maskz_loadu_ps(k, v + i), vb1, vb2, vlr, veps, vin1, vin2);
-    _mm512_mask_storeu_ps(m + i, k, r.m);
-    _mm512_mask_storeu_ps(v + i, k, r.v);
-    const __m512 wv = _mm512_sub_ps(widen_bf16(load_bf16_tail(w + i, rem)), r.update);
-    _mm256_mask_storeu_epi16(w + i, k, round_to_bf16_bits(wv));
-    _mm512_mask_storeu_ps(g + i, k, zero);
-  }
-}
-
-// --- multi-row dots -------------------------------------------------------
-// Four rows per pass: each load of x feeds four FMAs, quadrupling arithmetic
-// intensity on the activation vector relative to row-at-a-time dots.
-
-inline const float* row_ptr(const float* w, std::size_t ld, const std::uint32_t* rows,
-                            std::size_t r) {
-  return w + (rows != nullptr ? rows[r] : r) * ld;
-}
-inline const bf16* row_ptr(const bf16* w, std::size_t ld, const std::uint32_t* rows,
-                           std::size_t r) {
-  return w + (rows != nullptr ? rows[r] : r) * ld;
-}
-
-void v_dot_rows_f32(const float* w, std::size_t ld, const std::uint32_t* rows,
-                    std::size_t nrows, const float* x, std::size_t n, float* out) {
-  std::size_t r = 0;
-  for (; r + 4 <= nrows; r += 4) {
-    const float* w0 = row_ptr(w, ld, rows, r + 0);
-    const float* w1 = row_ptr(w, ld, rows, r + 1);
-    const float* w2 = row_ptr(w, ld, rows, r + 2);
-    const float* w3 = row_ptr(w, ld, rows, r + 3);
-    __m512 a0 = _mm512_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
-    std::size_t i = 0;
-    for (; i + 16 <= n; i += 16) {
-      const __m512 xv = _mm512_loadu_ps(x + i);
-      a0 = _mm512_fmadd_ps(_mm512_loadu_ps(w0 + i), xv, a0);
-      a1 = _mm512_fmadd_ps(_mm512_loadu_ps(w1 + i), xv, a1);
-      a2 = _mm512_fmadd_ps(_mm512_loadu_ps(w2 + i), xv, a2);
-      a3 = _mm512_fmadd_ps(_mm512_loadu_ps(w3 + i), xv, a3);
-    }
-    if (i < n) {
-      const __mmask16 k = tail_mask16(n - i);
-      const __m512 xv = _mm512_maskz_loadu_ps(k, x + i);
-      a0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w0 + i), xv, a0);
-      a1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w1 + i), xv, a1);
-      a2 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w2 + i), xv, a2);
-      a3 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w3 + i), xv, a3);
-    }
-    out[r + 0] = _mm512_reduce_add_ps(a0);
-    out[r + 1] = _mm512_reduce_add_ps(a1);
-    out[r + 2] = _mm512_reduce_add_ps(a2);
-    out[r + 3] = _mm512_reduce_add_ps(a3);
-  }
-  for (; r < nrows; ++r) out[r] = v_dot_f32(row_ptr(w, ld, rows, r), x, n);
-}
-
-void v_dot_rows_wf32_xbf16(const float* w, std::size_t ld, const std::uint32_t* rows,
-                           std::size_t nrows, const bf16* x, std::size_t n, float* out) {
-  std::size_t r = 0;
-  for (; r + 4 <= nrows; r += 4) {
-    const float* w0 = row_ptr(w, ld, rows, r + 0);
-    const float* w1 = row_ptr(w, ld, rows, r + 1);
-    const float* w2 = row_ptr(w, ld, rows, r + 2);
-    const float* w3 = row_ptr(w, ld, rows, r + 3);
-    __m512 a0 = _mm512_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
-    std::size_t i = 0;
-    for (; i + 16 <= n; i += 16) {
-      const __m512 xv = widen_bf16(load_bf16(x + i));  // widened once, used 4x
-      a0 = _mm512_fmadd_ps(_mm512_loadu_ps(w0 + i), xv, a0);
-      a1 = _mm512_fmadd_ps(_mm512_loadu_ps(w1 + i), xv, a1);
-      a2 = _mm512_fmadd_ps(_mm512_loadu_ps(w2 + i), xv, a2);
-      a3 = _mm512_fmadd_ps(_mm512_loadu_ps(w3 + i), xv, a3);
-    }
-    if (i < n) {
-      const std::size_t rem = n - i;
-      const __mmask16 k = tail_mask16(rem);
-      const __m512 xv = widen_bf16(load_bf16_tail(x + i, rem));
-      a0 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w0 + i), xv, a0);
-      a1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w1 + i), xv, a1);
-      a2 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w2 + i), xv, a2);
-      a3 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, w3 + i), xv, a3);
-    }
-    out[r + 0] = _mm512_reduce_add_ps(a0);
-    out[r + 1] = _mm512_reduce_add_ps(a1);
-    out[r + 2] = _mm512_reduce_add_ps(a2);
-    out[r + 3] = _mm512_reduce_add_ps(a3);
-  }
-  for (; r < nrows; ++r) out[r] = v_dot_bf16_f32(x, row_ptr(w, ld, rows, r), n);
-}
-
-void v_dot_rows_wbf16_xbf16(const bf16* w, std::size_t ld, const std::uint32_t* rows,
-                            std::size_t nrows, const bf16* x, std::size_t n, float* out) {
-  std::size_t r = 0;
-  for (; r + 4 <= nrows; r += 4) {
-    const bf16* w0 = row_ptr(w, ld, rows, r + 0);
-    const bf16* w1 = row_ptr(w, ld, rows, r + 1);
-    const bf16* w2 = row_ptr(w, ld, rows, r + 2);
-    const bf16* w3 = row_ptr(w, ld, rows, r + 3);
-    __m512 a0 = _mm512_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
-    std::size_t i = 0;
-    for (; i + 16 <= n; i += 16) {
-      const __m512 xv = widen_bf16(load_bf16(x + i));
-      a0 = _mm512_fmadd_ps(widen_bf16(load_bf16(w0 + i)), xv, a0);
-      a1 = _mm512_fmadd_ps(widen_bf16(load_bf16(w1 + i)), xv, a1);
-      a2 = _mm512_fmadd_ps(widen_bf16(load_bf16(w2 + i)), xv, a2);
-      a3 = _mm512_fmadd_ps(widen_bf16(load_bf16(w3 + i)), xv, a3);
-    }
-    if (i < n) {
-      const std::size_t rem = n - i;
-      const __m512 xv = widen_bf16(load_bf16_tail(x + i, rem));
-      a0 = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(w0 + i, rem)), xv, a0);
-      a1 = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(w1 + i, rem)), xv, a1);
-      a2 = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(w2 + i, rem)), xv, a2);
-      a3 = _mm512_fmadd_ps(widen_bf16(load_bf16_tail(w3 + i, rem)), xv, a3);
-    }
-    out[r + 0] = _mm512_reduce_add_ps(a0);
-    out[r + 1] = _mm512_reduce_add_ps(a1);
-    out[r + 2] = _mm512_reduce_add_ps(a2);
-    out[r + 3] = _mm512_reduce_add_ps(a3);
-  }
-  for (; r < nrows; ++r) out[r] = v_dot_bf16_bf16(x, row_ptr(w, ld, rows, r), n);
-}
-
-// --- gather / DWTA support ----------------------------------------------------
-
-void v_gather_f32(float* dst, const float* src, const std::uint32_t* idx, std::size_t n) {
-  std::size_t k = 0;
-  for (; k + 16 <= n; k += 16) {
-    const __m512i vi = _mm512_loadu_si512(reinterpret_cast<const void*>(idx + k));
-    _mm512_storeu_ps(dst + k, _mm512_i32gather_ps(vi, src, 4));
-  }
-  if (k < n) {
-    const __mmask16 m = tail_mask16(n - k);
-    const __m512i vi = _mm512_maskz_loadu_epi32(m, idx + k);
-    const __m512 r = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), m, vi, src, 4);
-    _mm512_mask_storeu_ps(dst + k, m, r);
-  }
-}
-
-void v_gather_scatter_f32(float* dst, const std::uint32_t* dst_idx, const float* src,
-                          const std::uint32_t* src_idx, std::size_t n) {
-  std::size_t k = 0;
-  for (; k + 16 <= n; k += 16) {
-    const __m512i si = _mm512_loadu_si512(reinterpret_cast<const void*>(src_idx + k));
-    const __m512i di = _mm512_loadu_si512(reinterpret_cast<const void*>(dst_idx + k));
-    _mm512_i32scatter_ps(dst, di, _mm512_i32gather_ps(si, src, 4), 4);
-  }
-  if (k < n) {
-    const __mmask16 m = tail_mask16(n - k);
-    const __m512i si = _mm512_maskz_loadu_epi32(m, src_idx + k);
-    const __m512i di = _mm512_maskz_loadu_epi32(m, dst_idx + k);
-    const __m512 r = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), m, si, src, 4);
-    _mm512_mask_i32scatter_ps(dst, m, di, r, 4);
-  }
-}
-
-void v_wta_winners_f32(const float* values, std::size_t num_bins, std::uint8_t* winners) {
+void wta_winners_avx512(const float* values, std::size_t num_bins, std::uint8_t* winners) {
   // One 8-wide bin per __m256: broadcast the horizontal max, then the first
-  // equal lane is the winner (matching the scalar backend's tie rule).
+  // equal lane is the winner (matching the scalar backend's tie rule).  Uses
+  // the AVX-512VL 256-bit opmask compare, which the generic layer (built
+  // around full-width fp32 vectors) doesn't model.
   for (std::size_t b = 0; b < num_bins; ++b) {
     const __m256 v = _mm256_loadu_ps(values + 8 * b);
     __m256 t = _mm256_max_ps(v, _mm256_permute2f128_ps(v, v, 1));
@@ -594,35 +30,14 @@ void v_wta_winners_f32(const float* values, std::size_t num_bins, std::uint8_t* 
   }
 }
 
+constexpr KernelTable build_table() {
+  KernelTable t = make_kernel_table<SimdAvx512>("avx512");
+  t.wta_winners_f32 = wta_winners_avx512;
+  return t;
+}
+
 }  // namespace
 
-const KernelTable kAvx512Table = {
-    .dot_f32 = v_dot_f32,
-    .dot_bf16_f32 = v_dot_bf16_f32,
-    .dot_bf16_bf16 = v_dot_bf16_bf16,
-    .sparse_dot_f32 = v_sparse_dot_f32,
-    .sparse_dot_bf16 = v_sparse_dot_bf16,
-    .axpy_f32 = v_axpy_f32,
-    .axpy_bf16 = v_axpy_bf16,
-    .scatter_axpy_f32 = v_scatter_axpy_f32,
-    .scale_f32 = v_scale_f32,
-    .fill_f32 = v_fill_f32,
-    .relu_f32 = v_relu_f32,
-    .reduce_sum_f32 = v_reduce_sum_f32,
-    .reduce_max_f32 = v_reduce_max_f32,
-    .argmax_f32 = v_argmax_f32,
-    .softmax_f32 = v_softmax_f32,
-    .fp32_to_bf16 = v_fp32_to_bf16,
-    .bf16_to_fp32 = v_bf16_to_fp32,
-    .adam_step_f32 = v_adam_step_f32,
-    .adam_step_bf16 = v_adam_step_bf16,
-    .dot_rows_f32 = v_dot_rows_f32,
-    .dot_rows_wf32_xbf16 = v_dot_rows_wf32_xbf16,
-    .dot_rows_wbf16_xbf16 = v_dot_rows_wbf16_xbf16,
-    .gather_f32 = v_gather_f32,
-    .gather_scatter_f32 = v_gather_scatter_f32,
-    .wta_winners_f32 = v_wta_winners_f32,
-    .name = "avx512",
-};
+const KernelTable kAvx512Table = build_table();
 
 }  // namespace slide::kernels

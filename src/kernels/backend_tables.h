@@ -6,6 +6,9 @@
 namespace slide::kernels {
 
 extern const KernelTable kScalarTable;
+#if SLIDE_HAVE_AVX2
+extern const KernelTable kAvx2Table;
+#endif
 #if SLIDE_HAVE_AVX512
 extern const KernelTable kAvx512Table;
 #endif

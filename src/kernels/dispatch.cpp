@@ -1,17 +1,61 @@
-// Runtime backend selection (drives the Table 4 AVX-512 on/off ablation).
+// Runtime backend selection (drives the Table 4 vectorization ablation).
+//
+// Three-way priority dispatch: AVX-512 > AVX2 > scalar, each gated on both
+// compile-time availability (SLIDE_HAVE_*) and CPUID.  The SLIDE_ISA
+// environment variable overrides the automatic pick for the process, with a
+// logged fallback when the request can't be honored.
 #include <atomic>
+#include <cstdlib>
 
 #include "kernels/backend_tables.h"
 #include "util/cpu_features.h"
+#include "util/logging.h"
 
 namespace slide::kernels {
 namespace {
 
-const KernelTable* best_table() {
-#if SLIDE_HAVE_AVX512
-  if (cpu_has_avx512()) return &kAvx512Table;
+// The table for `isa`, or nullptr when that backend is compiled out or the
+// CPU lacks the features it was compiled against.
+const KernelTable* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return &kScalarTable;
+    case Isa::Avx2:
+#if SLIDE_HAVE_AVX2
+      if (cpu_has_avx2()) return &kAvx2Table;
 #endif
+      return nullptr;
+    case Isa::Avx512:
+#if SLIDE_HAVE_AVX512
+      if (cpu_has_avx512()) return &kAvx512Table;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const KernelTable* best_table() {
+  if (const KernelTable* t = table_for(Isa::Avx512)) return t;
+  if (const KernelTable* t = table_for(Isa::Avx2)) return t;
   return &kScalarTable;
+}
+
+// First-use backend: SLIDE_ISA if set and honorable, else the best available.
+const KernelTable* initial_table() {
+  const char* env = std::getenv("SLIDE_ISA");
+  if (env == nullptr || *env == '\0') return best_table();
+  const std::string_view request(env);
+  if (request == "auto") return best_table();
+  Isa isa;
+  if (!parse_isa(request, &isa)) {
+    log_warn("SLIDE_ISA='", env, "' is not a backend name (expected scalar | avx2 | ",
+             "avx512 | auto); using ", best_table()->name);
+    return best_table();
+  }
+  if (const KernelTable* t = table_for(isa)) return t;
+  log_warn("SLIDE_ISA=", env, " is unavailable on this CPU/build (features: ",
+           cpu_feature_string(), "); falling back to ", best_table()->name);
+  return best_table();
 }
 
 std::atomic<const KernelTable*> g_table{nullptr};
@@ -22,7 +66,7 @@ namespace detail {
 const KernelTable* active_table() {
   const KernelTable* t = g_table.load(std::memory_order_acquire);
   if (t == nullptr) {
-    t = best_table();
+    t = initial_table();
     const KernelTable* expected = nullptr;
     g_table.compare_exchange_strong(expected, t, std::memory_order_acq_rel);
     t = g_table.load(std::memory_order_acquire);
@@ -31,35 +75,66 @@ const KernelTable* active_table() {
 }
 }  // namespace detail
 
-bool avx512_available() {
-#if SLIDE_HAVE_AVX512
-  return cpu_has_avx512();
-#else
-  return false;
-#endif
+bool avx512_available() { return table_for(Isa::Avx512) != nullptr; }
+bool avx2_available() { return table_for(Isa::Avx2) != nullptr; }
+bool isa_available(Isa isa) { return table_for(isa) != nullptr; }
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out{Isa::Scalar};
+  if (avx2_available()) out.push_back(Isa::Avx2);
+  if (avx512_available()) out.push_back(Isa::Avx512);
+  return out;
+}
+
+Isa preferred_isa() {
+  if (avx512_available()) return Isa::Avx512;
+  if (avx2_available()) return Isa::Avx2;
+  return Isa::Scalar;
 }
 
 bool set_isa(Isa isa) {
-  switch (isa) {
-    case Isa::Scalar:
-      g_table.store(&kScalarTable, std::memory_order_release);
-      return true;
-    case Isa::Avx512:
-#if SLIDE_HAVE_AVX512
-      if (cpu_has_avx512()) {
-        g_table.store(&kAvx512Table, std::memory_order_release);
-        return true;
-      }
-#endif
-      return false;
-  }
-  return false;
+  const KernelTable* t = table_for(isa);
+  if (t == nullptr) return false;
+  g_table.store(t, std::memory_order_release);
+  return true;
 }
 
 Isa active_isa() {
-  return detail::active_table() == &kScalarTable ? Isa::Scalar : Isa::Avx512;
+  const KernelTable* t = detail::active_table();
+#if SLIDE_HAVE_AVX512
+  if (t == &kAvx512Table) return Isa::Avx512;
+#endif
+#if SLIDE_HAVE_AVX2
+  if (t == &kAvx2Table) return Isa::Avx2;
+#endif
+  return Isa::Scalar;
 }
 
 const char* active_isa_name() { return detail::active_table()->name; }
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_isa(std::string_view name, Isa* out) {
+  if (name == "scalar") {
+    *out = Isa::Scalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = Isa::Avx2;
+    return true;
+  }
+  if (name == "avx512") {
+    *out = Isa::Avx512;
+    return true;
+  }
+  return false;
+}
 
 }  // namespace slide::kernels

@@ -1,9 +1,14 @@
 // ISA-dispatched compute kernels (paper Sections 4.2-4.4).
 //
 // Every numeric hot loop in the library goes through this table so that the
-// whole engine can be flipped between the AVX-512 backend and the scalar
-// reference backend at runtime — that switch *is* the paper's Table 4
-// ablation ("Impact of AVX-512").
+// whole engine can be flipped between the AVX-512, AVX2, and scalar reference
+// backends at runtime — the AVX-512-vs-scalar switch *is* the paper's Table 4
+// ablation ("Impact of AVX-512"), and the AVX2 backend carries the same
+// speedup story to the commodity/cloud CPUs that lack AVX-512.  All three
+// backends are instantiations of one width-generic implementation layer
+// (simd.h + kernels_generic.h); each lives in its own translation unit
+// compiled with exactly the -m flags its ISA needs, so the fat binary stays
+// runnable on baseline x86-64.
 //
 // Kernel inventory and the paper mechanism each one implements:
 //   dot_f32 / dot_bf16_*      Algorithm 1 (dense x, row-major W): dense inner
@@ -31,12 +36,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+#include <vector>
 
 #include "util/bf16.h"
 
 namespace slide::kernels {
 
-enum class Isa { Scalar, Avx512 };
+// Priority order for automatic selection: highest value wins.
+enum class Isa { Scalar, Avx2, Avx512 };
 
 // Function-pointer table filled in by each backend translation unit.
 struct KernelTable {
@@ -99,15 +107,33 @@ const KernelTable* active_table();
 }
 
 // --- Backend selection -------------------------------------------------
+//
+// The initial backend is the best available one, unless the SLIDE_ISA
+// environment variable (scalar | avx2 | avx512 | auto) names another; an
+// unavailable or unrecognized SLIDE_ISA logs a warning and falls back to the
+// best available backend (mirroring SLIDE_NUM_THREADS's "env configures the
+// default" contract).
 
 // True when the AVX-512 backend was compiled in AND the CPU supports it.
 bool avx512_available();
+// True when the AVX2 backend was compiled in AND the CPU supports AVX2+FMA.
+bool avx2_available();
+bool isa_available(Isa isa);
+// Every backend usable on this CPU/build, in ascending priority order
+// (Scalar is always present and always first).
+std::vector<Isa> available_isas();
+// The backend automatic selection would pick (the last of available_isas()).
+Isa preferred_isa();
 // Selects a backend; returns false (and leaves the selection unchanged) if
 // the requested backend is unavailable.  Thread-safe, but intended to be
 // called between training runs, not concurrently with them.
 bool set_isa(Isa isa);
 Isa active_isa();
 const char* active_isa_name();
+// Canonical lowercase name ("scalar" | "avx2" | "avx512").
+const char* isa_name(Isa isa);
+// Parses a canonical name; returns false (out untouched) for anything else.
+bool parse_isa(std::string_view name, Isa* out);
 
 // --- Dispatched entry points --------------------------------------------
 

@@ -1,0 +1,500 @@
+// Width-generic kernel implementations (paper Sections 4.2-4.4).
+//
+// Every KernelTable entry is implemented once here, templated on a SIMD
+// trait from simd.h; each backend TU instantiates the whole table at its
+// lane width via make_kernel_table<S>() and overrides only the few entries
+// where the ISA genuinely diverges (today: the 8-wide WTA winner extraction,
+// which wants opmask/movemask idioms the trait layer doesn't model).
+//
+// Structure mirrors the original hand-written AVX-512 backend exactly —
+// 2-accumulator unrolled dots, 4-row-blocked multi-row dots, masked tails —
+// so instantiating at W=16 reproduces its numerics, while W=1 degenerates to
+// the plain in-order loops of the scalar reference (dot products special-case
+// W==1 to keep the reference's single-accumulator summation order).
+#pragma once
+
+#include <cfloat>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "kernels/kernels.h"
+#include "kernels/simd.h"
+
+namespace slide::kernels {
+
+template <class S>
+struct GenericKernels {
+  using vf = typename S::vf;
+  using vi = typename S::vi;
+  static constexpr std::size_t W = S::W;
+
+  // Element loads generic over fp32/bf16 so the dot/dot_rows family is
+  // written once for all precision combinations.
+  template <class T>
+  static vf load_elems(const T* p) {
+    if constexpr (std::is_same_v<T, float>) {
+      return S::loadu(p);
+    } else {
+      return S::load_bf16(p);
+    }
+  }
+  template <class T>
+  static vf load_elems_partial(const T* p, std::size_t rem) {
+    if constexpr (std::is_same_v<T, float>) {
+      return S::load_partial(p, rem);
+    } else {
+      return S::load_bf16_partial(p, rem);
+    }
+  }
+  template <class T>
+  static float to_f32(T x) {
+    if constexpr (std::is_same_v<T, float>) {
+      return x;
+    } else {
+      return x.to_float();
+    }
+  }
+
+  // --- dots ----------------------------------------------------------------
+
+  template <class TA, class TB>
+  static float dot_any(const TA* a, const TB* b, std::size_t n) {
+    if constexpr (W == 1) {
+      float s = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) s += to_f32(a[i]) * to_f32(b[i]);
+      return s;
+    } else {
+      // Two accumulators: one load pair per FMA, hiding the FMA latency.
+      vf acc0 = S::zero();
+      vf acc1 = S::zero();
+      std::size_t i = 0;
+      for (; i + 2 * W <= n; i += 2 * W) {
+        acc0 = S::fmadd(load_elems(a + i), load_elems(b + i), acc0);
+        acc1 = S::fmadd(load_elems(a + i + W), load_elems(b + i + W), acc1);
+      }
+      for (; i + W <= n; i += W) {
+        acc0 = S::fmadd(load_elems(a + i), load_elems(b + i), acc0);
+      }
+      if (i < n) {
+        const std::size_t rem = n - i;
+        acc1 = S::fmadd(load_elems_partial(a + i, rem), load_elems_partial(b + i, rem), acc1);
+      }
+      return S::reduce_add(S::add(acc0, acc1));
+    }
+  }
+
+  static float dot_f32(const float* a, const float* b, std::size_t n) {
+    return dot_any(a, b, n);
+  }
+  static float dot_bf16_f32(const bf16* a, const float* b, std::size_t n) {
+    return dot_any(a, b, n);
+  }
+  static float dot_bf16_bf16(const bf16* a, const bf16* b, std::size_t n) {
+    return dot_any(a, b, n);
+  }
+
+  static float sparse_dot_f32(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                              const float* w) {
+    vf acc = S::zero();
+    std::size_t k = 0;
+    for (; k + W <= nnz; k += W) {
+      acc = S::fmadd(S::loadu(val + k), S::gather(w, S::load_idx(idx + k)), acc);
+    }
+    if (k < nnz) {
+      const std::size_t rem = nnz - k;
+      acc = S::fmadd(S::load_partial(val + k, rem), S::gather_partial(w, idx + k, rem), acc);
+    }
+    return S::reduce_add(acc);
+  }
+
+  static float sparse_dot_bf16(const std::uint32_t* idx, const float* val, std::size_t nnz,
+                               const bf16* w) {
+    // bf16 rows cannot be gathered directly (vpgatherd* works on 32-bit
+    // elements); gather element-wise but keep the FMA accumulation vectorized
+    // by staging W widened weights at a time.
+    alignas(64) float staged[W];
+    vf acc = S::zero();
+    std::size_t k = 0;
+    for (; k + W <= nnz; k += W) {
+      for (std::size_t j = 0; j < W; ++j) staged[j] = w[idx[k + j]].to_float();
+      acc = S::fmadd(S::loadu(val + k), S::loadu(staged), acc);
+    }
+    float s = S::reduce_add(acc);
+    for (; k < nnz; ++k) s += val[k] * w[idx[k]].to_float();
+    return s;
+  }
+
+  // --- axpy family ----------------------------------------------------------
+
+  template <class T>
+  static void axpy_any(float alpha, const T* x, float* y, std::size_t n) {
+    const vf va = S::set1(alpha);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      S::storeu(y + i, S::fmadd(va, load_elems(x + i), S::loadu(y + i)));
+    }
+    if (i < n) {
+      const std::size_t rem = n - i;
+      const vf r = S::fmadd(va, load_elems_partial(x + i, rem), S::load_partial(y + i, rem));
+      S::store_partial(y + i, rem, r);
+    }
+  }
+
+  static void axpy_f32(float alpha, const float* x, float* y, std::size_t n) {
+    axpy_any(alpha, x, y, n);
+  }
+  static void axpy_bf16(float alpha, const bf16* x, float* y, std::size_t n) {
+    axpy_any(alpha, x, y, n);
+  }
+
+  static void scatter_axpy_f32(float alpha, const std::uint32_t* idx, const float* val,
+                               std::size_t nnz, float* w) {
+    // Requires unique indices within one call: gather/modify/scatter would
+    // lose updates on duplicates.  SparseBatch guarantees strictly increasing
+    // indices per example.
+    const vf va = S::set1(alpha);
+    std::size_t k = 0;
+    for (; k + W <= nnz; k += W) {
+      const vi vidx = S::load_idx(idx + k);
+      const vf wv = S::gather(w, vidx);
+      S::scatter(w, vidx, S::fmadd(va, S::loadu(val + k), wv));
+    }
+    for (; k < nnz; ++k) w[idx[k]] += alpha * val[k];
+  }
+
+  // --- elementwise -----------------------------------------------------------
+
+  static void scale_f32(float alpha, float* x, std::size_t n) {
+    const vf va = S::set1(alpha);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) S::storeu(x + i, S::mul(va, S::loadu(x + i)));
+    if (i < n) {
+      const std::size_t rem = n - i;
+      S::store_partial(x + i, rem, S::mul(va, S::load_partial(x + i, rem)));
+    }
+  }
+
+  static void fill_f32(float* x, std::size_t n, float value) {
+    const vf v = S::set1(value);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) S::storeu(x + i, v);
+    if (i < n) S::store_partial(x + i, n - i, v);
+  }
+
+  static void relu_f32(float* x, std::size_t n) {
+    const vf zero = S::zero();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) S::storeu(x + i, S::max(zero, S::loadu(x + i)));
+    if (i < n) {
+      const std::size_t rem = n - i;
+      S::store_partial(x + i, rem, S::max(zero, S::load_partial(x + i, rem)));
+    }
+  }
+
+  static float reduce_sum_f32(const float* x, std::size_t n) {
+    vf acc = S::zero();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) acc = S::add(acc, S::loadu(x + i));
+    if (i < n) acc = S::add(acc, S::load_partial(x + i, n - i));
+    return S::reduce_add(acc);
+  }
+
+  static float reduce_max_f32(const float* x, std::size_t n) {
+    vf acc = S::set1(-FLT_MAX);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) acc = S::max(acc, S::loadu(x + i));
+    if (i < n) {
+      const std::size_t rem = n - i;
+      // Inactive tail lanes must not poison the max: refill them with the
+      // identity element before folding.
+      acc = S::max(acc, S::select(S::partial_mask(rem), S::load_partial(x + i, rem),
+                                  S::set1(-FLT_MAX)));
+    }
+    return S::reduce_max(acc);
+  }
+
+  static std::size_t argmax_f32(const float* x, std::size_t n) {
+    if constexpr (W == 1) {
+      if (n == 0) return 0;
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (x[i] > x[best]) best = i;
+      }
+      return best;
+    } else {
+      if (n == 0) return 0;
+      vf vmax = S::set1(-FLT_MAX);
+      vi vidx = S::set1_i(0);
+      vi cur = S::iota();
+      const vi step = S::set1_i(static_cast<std::int32_t>(W));
+      std::size_t i = 0;
+      for (; i + W <= n; i += W) {
+        const vf v = S::loadu(x + i);
+        const auto gt = S::cmp_gt(v, vmax);
+        vmax = S::select(gt, v, vmax);
+        vidx = S::select_i(gt, cur, vidx);
+        cur = S::add_i(cur, step);
+      }
+      if (i < n) {
+        const std::size_t rem = n - i;
+        const vf v = S::select(S::partial_mask(rem), S::load_partial(x + i, rem),
+                               S::set1(-FLT_MAX));
+        const auto gt = S::cmp_gt(v, vmax);
+        vmax = S::select(gt, v, vmax);
+        vidx = S::select_i(gt, cur, vidx);
+      }
+      alignas(64) float lane_val[W];
+      alignas(64) std::uint32_t lane_idx[W];
+      S::store_arr(lane_val, vmax);
+      S::store_arr_i(lane_idx, vidx);
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < W; ++j) {
+        if (lane_val[j] > lane_val[best] ||
+            (lane_val[j] == lane_val[best] && lane_idx[j] < lane_idx[best])) {
+          best = j;
+        }
+      }
+      return lane_idx[best];
+    }
+  }
+
+  static void softmax_f32(float* x, std::size_t n) {
+    if (n == 0) return;
+    const vf vm = S::set1(reduce_max_f32(x, n));
+    vf vsum = S::zero();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const vf e = S::exp(S::sub(S::loadu(x + i), vm));
+      S::storeu(x + i, e);
+      vsum = S::add(vsum, e);
+    }
+    if (i < n) {
+      const std::size_t rem = n - i;
+      const vf e = S::exp(S::sub(S::load_partial(x + i, rem), vm));
+      S::store_partial(x + i, rem, e);
+      vsum = S::add(vsum, S::select(S::partial_mask(rem), e, S::zero()));
+    }
+    scale_f32(1.0f / S::reduce_add(vsum), x, n);
+  }
+
+  // --- bf16 conversion --------------------------------------------------------
+
+  static void fp32_to_bf16(const float* src, bf16* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) S::store_bf16(dst + i, S::loadu(src + i));
+    if (i < n) {
+      const std::size_t rem = n - i;
+      S::store_bf16_partial(dst + i, rem, S::load_partial(src + i, rem));
+    }
+  }
+
+  static void bf16_to_fp32(const bf16* src, float* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) S::storeu(dst + i, S::load_bf16(src + i));
+    if (i < n) {
+      const std::size_t rem = n - i;
+      S::store_partial(dst + i, rem, S::load_bf16_partial(src + i, rem));
+    }
+  }
+
+  // --- ADAM (Fig. 3) ----------------------------------------------------------
+
+  struct AdamVectors {
+    vf m, v, update;
+  };
+
+  static AdamVectors adam_core(vf g, vf m, vf v, vf b1, vf b2, vf lr, vf eps, vf inv1,
+                               vf inv2) {
+    const vf one = S::set1(1.0f);
+    m = S::fmadd(b1, m, S::mul(S::sub(one, b1), g));
+    v = S::fmadd(b2, v, S::mul(S::sub(one, b2), S::mul(g, g)));
+    const vf mhat = S::mul(m, inv1);
+    const vf vhat = S::mul(v, inv2);
+    const vf denom = S::add(S::sqrt(vhat), eps);
+    return {m, v, S::div(S::mul(lr, mhat), denom)};
+  }
+
+  template <class TW>
+  static void adam_step_any(TW* w, float* m, float* v, float* g, std::size_t n, float lr,
+                            float beta1, float beta2, float eps, float inv_bias1,
+                            float inv_bias2) {
+    const vf vb1 = S::set1(beta1);
+    const vf vb2 = S::set1(beta2);
+    const vf vlr = S::set1(lr);
+    const vf veps = S::set1(eps);
+    const vf vin1 = S::set1(inv_bias1);
+    const vf vin2 = S::set1(inv_bias2);
+    const vf zero = S::zero();
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+      const AdamVectors r = adam_core(S::loadu(g + i), S::loadu(m + i), S::loadu(v + i),
+                                      vb1, vb2, vlr, veps, vin1, vin2);
+      S::storeu(m + i, r.m);
+      S::storeu(v + i, r.v);
+      if constexpr (std::is_same_v<TW, float>) {
+        S::storeu(w + i, S::sub(S::loadu(w + i), r.update));
+      } else {
+        S::store_bf16(w + i, S::sub(S::load_bf16(w + i), r.update));
+      }
+      S::storeu(g + i, zero);
+    }
+    if (i < n) {
+      const std::size_t rem = n - i;
+      const AdamVectors r =
+          adam_core(S::load_partial(g + i, rem), S::load_partial(m + i, rem),
+                    S::load_partial(v + i, rem), vb1, vb2, vlr, veps, vin1, vin2);
+      S::store_partial(m + i, rem, r.m);
+      S::store_partial(v + i, rem, r.v);
+      if constexpr (std::is_same_v<TW, float>) {
+        S::store_partial(w + i, rem, S::sub(S::load_partial(w + i, rem), r.update));
+      } else {
+        S::store_bf16_partial(w + i, rem, S::sub(S::load_bf16_partial(w + i, rem), r.update));
+      }
+      S::store_partial(g + i, rem, zero);
+    }
+  }
+
+  static void adam_step_f32(float* w, float* m, float* v, float* g, std::size_t n, float lr,
+                            float beta1, float beta2, float eps, float inv_bias1,
+                            float inv_bias2) {
+    adam_step_any(w, m, v, g, n, lr, beta1, beta2, eps, inv_bias1, inv_bias2);
+  }
+  static void adam_step_bf16(bf16* w, float* m, float* v, float* g, std::size_t n, float lr,
+                             float beta1, float beta2, float eps, float inv_bias1,
+                             float inv_bias2) {
+    adam_step_any(w, m, v, g, n, lr, beta1, beta2, eps, inv_bias1, inv_bias2);
+  }
+
+  // --- multi-row dots -------------------------------------------------------
+  // Four rows per pass: each load of x feeds four FMAs, quadrupling the
+  // arithmetic intensity on the activation vector relative to row-at-a-time
+  // dots — the batched form of Algorithm 1 used by the layer forward pass.
+
+  template <class T>
+  static const T* row_ptr(const T* w, std::size_t ld, const std::uint32_t* rows,
+                          std::size_t r) {
+    return w + (rows != nullptr ? rows[r] : r) * ld;
+  }
+
+  template <class TW, class TX>
+  static void dot_rows_any(const TW* w, std::size_t ld, const std::uint32_t* rows,
+                           std::size_t nrows, const TX* x, std::size_t n, float* out) {
+    std::size_t r = 0;
+    for (; r + 4 <= nrows; r += 4) {
+      const TW* w0 = row_ptr(w, ld, rows, r + 0);
+      const TW* w1 = row_ptr(w, ld, rows, r + 1);
+      const TW* w2 = row_ptr(w, ld, rows, r + 2);
+      const TW* w3 = row_ptr(w, ld, rows, r + 3);
+      vf a0 = S::zero(), a1 = S::zero(), a2 = S::zero(), a3 = S::zero();
+      std::size_t i = 0;
+      for (; i + W <= n; i += W) {
+        const vf xv = load_elems(x + i);  // loaded (and widened) once, used 4x
+        a0 = S::fmadd(load_elems(w0 + i), xv, a0);
+        a1 = S::fmadd(load_elems(w1 + i), xv, a1);
+        a2 = S::fmadd(load_elems(w2 + i), xv, a2);
+        a3 = S::fmadd(load_elems(w3 + i), xv, a3);
+      }
+      if (i < n) {
+        const std::size_t rem = n - i;
+        const vf xv = load_elems_partial(x + i, rem);
+        a0 = S::fmadd(load_elems_partial(w0 + i, rem), xv, a0);
+        a1 = S::fmadd(load_elems_partial(w1 + i, rem), xv, a1);
+        a2 = S::fmadd(load_elems_partial(w2 + i, rem), xv, a2);
+        a3 = S::fmadd(load_elems_partial(w3 + i, rem), xv, a3);
+      }
+      out[r + 0] = S::reduce_add(a0);
+      out[r + 1] = S::reduce_add(a1);
+      out[r + 2] = S::reduce_add(a2);
+      out[r + 3] = S::reduce_add(a3);
+    }
+    for (; r < nrows; ++r) out[r] = dot_any(x, row_ptr(w, ld, rows, r), n);
+  }
+
+  static void dot_rows_f32(const float* w, std::size_t ld, const std::uint32_t* rows,
+                           std::size_t nrows, const float* x, std::size_t n, float* out) {
+    dot_rows_any(w, ld, rows, nrows, x, n, out);
+  }
+  static void dot_rows_wf32_xbf16(const float* w, std::size_t ld, const std::uint32_t* rows,
+                                  std::size_t nrows, const bf16* x, std::size_t n,
+                                  float* out) {
+    dot_rows_any(w, ld, rows, nrows, x, n, out);
+  }
+  static void dot_rows_wbf16_xbf16(const bf16* w, std::size_t ld, const std::uint32_t* rows,
+                                   std::size_t nrows, const bf16* x, std::size_t n,
+                                   float* out) {
+    dot_rows_any(w, ld, rows, nrows, x, n, out);
+  }
+
+  // --- gather / DWTA support --------------------------------------------------
+
+  static void gather_f32(float* dst, const float* src, const std::uint32_t* idx,
+                         std::size_t n) {
+    std::size_t k = 0;
+    for (; k + W <= n; k += W) S::storeu(dst + k, S::gather(src, S::load_idx(idx + k)));
+    if (k < n) {
+      const std::size_t rem = n - k;
+      S::store_partial(dst + k, rem, S::gather_partial(src, idx + k, rem));
+    }
+  }
+
+  static void gather_scatter_f32(float* dst, const std::uint32_t* dst_idx, const float* src,
+                                 const std::uint32_t* src_idx, std::size_t n) {
+    std::size_t k = 0;
+    for (; k + W <= n; k += W) {
+      S::scatter(dst, S::load_idx(dst_idx + k), S::gather(src, S::load_idx(src_idx + k)));
+    }
+    for (; k < n; ++k) dst[dst_idx[k]] = src[src_idx[k]];
+  }
+
+  // Reference bin-argmax; the AVX backends override this with in-register
+  // winner extraction (the one table entry where the ISAs truly diverge).
+  static void wta_winners_f32(const float* values, std::size_t num_bins,
+                              std::uint8_t* winners) {
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      const float* bin = values + 8 * b;
+      std::uint8_t best = 0;
+      for (std::uint8_t s = 1; s < 8; ++s) {
+        if (bin[s] > bin[best]) best = s;
+      }
+      winners[b] = best;
+    }
+  }
+};
+
+// Builds the full dispatch table for one trait; backend TUs may patch
+// individual entries before publishing it.
+template <class S>
+constexpr KernelTable make_kernel_table(const char* name) {
+  using G = GenericKernels<S>;
+  KernelTable t{};
+  t.dot_f32 = &G::dot_f32;
+  t.dot_bf16_f32 = &G::dot_bf16_f32;
+  t.dot_bf16_bf16 = &G::dot_bf16_bf16;
+  t.sparse_dot_f32 = &G::sparse_dot_f32;
+  t.sparse_dot_bf16 = &G::sparse_dot_bf16;
+  t.axpy_f32 = &G::axpy_f32;
+  t.axpy_bf16 = &G::axpy_bf16;
+  t.scatter_axpy_f32 = &G::scatter_axpy_f32;
+  t.scale_f32 = &G::scale_f32;
+  t.fill_f32 = &G::fill_f32;
+  t.relu_f32 = &G::relu_f32;
+  t.reduce_sum_f32 = &G::reduce_sum_f32;
+  t.reduce_max_f32 = &G::reduce_max_f32;
+  t.argmax_f32 = &G::argmax_f32;
+  t.softmax_f32 = &G::softmax_f32;
+  t.fp32_to_bf16 = &G::fp32_to_bf16;
+  t.bf16_to_fp32 = &G::bf16_to_fp32;
+  t.adam_step_f32 = &G::adam_step_f32;
+  t.adam_step_bf16 = &G::adam_step_bf16;
+  t.dot_rows_f32 = &G::dot_rows_f32;
+  t.dot_rows_wf32_xbf16 = &G::dot_rows_wf32_xbf16;
+  t.dot_rows_wbf16_xbf16 = &G::dot_rows_wbf16_xbf16;
+  t.gather_f32 = &G::gather_f32;
+  t.gather_scatter_f32 = &G::gather_scatter_f32;
+  t.wta_winners_f32 = &G::wta_winners_f32;
+  t.name = name;
+  return t;
+}
+
+}  // namespace slide::kernels

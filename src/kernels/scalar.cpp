@@ -1,218 +1,16 @@
 // Scalar reference backend.
 //
-// These are the semantics the AVX-512 backend must reproduce (the unit tests
-// compare the two lane-for-lane).  They also serve as the "without AVX-512"
-// arm of the paper's Table 4 ablation: plain loops compiled at the project's
-// baseline architecture, exactly like SLIDE with its AVX flag switched off.
-#include <algorithm>
-#include <cfloat>
-#include <cmath>
-
+// The width-generic implementation layer instantiated at W = 1: every loop in
+// kernels_generic.h degenerates to the plain in-order C++ the unit tests
+// treat as ground truth, and compiles at the project's baseline architecture
+// — exactly like SLIDE with its AVX flag switched off, which is the
+// "without vectorization" arm of the paper's Table 4 ablation.
 #include "kernels/backend_tables.h"
+#include "kernels/kernels_generic.h"
+#include "kernels/simd.h"
 
 namespace slide::kernels {
-namespace {
 
-float s_dot_f32(const float* a, const float* b, std::size_t n) {
-  float s = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
-}
-
-float s_dot_bf16_f32(const bf16* a, const float* b, std::size_t n) {
-  float s = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) s += a[i].to_float() * b[i];
-  return s;
-}
-
-float s_dot_bf16_bf16(const bf16* a, const bf16* b, std::size_t n) {
-  float s = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) s += a[i].to_float() * b[i].to_float();
-  return s;
-}
-
-float s_sparse_dot_f32(const std::uint32_t* idx, const float* val, std::size_t nnz,
-                       const float* w) {
-  float s = 0.0f;
-  for (std::size_t k = 0; k < nnz; ++k) s += val[k] * w[idx[k]];
-  return s;
-}
-
-float s_sparse_dot_bf16(const std::uint32_t* idx, const float* val, std::size_t nnz,
-                        const bf16* w) {
-  float s = 0.0f;
-  for (std::size_t k = 0; k < nnz; ++k) s += val[k] * w[idx[k]].to_float();
-  return s;
-}
-
-void s_axpy_f32(float alpha, const float* x, float* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-}
-
-void s_axpy_bf16(float alpha, const bf16* x, float* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i].to_float();
-}
-
-void s_scatter_axpy_f32(float alpha, const std::uint32_t* idx, const float* val,
-                        std::size_t nnz, float* w) {
-  for (std::size_t k = 0; k < nnz; ++k) w[idx[k]] += alpha * val[k];
-}
-
-void s_scale_f32(float alpha, float* x, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
-}
-
-void s_fill_f32(float* x, std::size_t n, float value) {
-  for (std::size_t i = 0; i < n; ++i) x[i] = value;
-}
-
-void s_relu_f32(float* x, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
-}
-
-float s_reduce_sum_f32(const float* x, std::size_t n) {
-  float s = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) s += x[i];
-  return s;
-}
-
-float s_reduce_max_f32(const float* x, std::size_t n) {
-  float m = -FLT_MAX;
-  for (std::size_t i = 0; i < n; ++i) m = std::max(m, x[i]);
-  return m;
-}
-
-std::size_t s_argmax_f32(const float* x, std::size_t n) {
-  if (n == 0) return 0;
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    if (x[i] > x[best]) best = i;
-  }
-  return best;
-}
-
-void s_softmax_f32(float* x, std::size_t n) {
-  if (n == 0) return;
-  const float m = s_reduce_max_f32(x, n);
-  float sum = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - m);
-    sum += x[i];
-  }
-  const float inv = 1.0f / sum;
-  for (std::size_t i = 0; i < n; ++i) x[i] *= inv;
-}
-
-void s_fp32_to_bf16(const float* src, bf16* dst, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = bf16::from_float(src[i]);
-}
-
-void s_bf16_to_fp32(const bf16* src, float* dst, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i].to_float();
-}
-
-void s_adam_step_f32(float* w, float* m, float* v, float* g, std::size_t n, float lr,
-                     float beta1, float beta2, float eps, float inv_bias1,
-                     float inv_bias2) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const float gi = g[i];
-    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
-    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
-    const float mhat = m[i] * inv_bias1;
-    const float vhat = v[i] * inv_bias2;
-    w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
-    g[i] = 0.0f;
-  }
-}
-
-void s_adam_step_bf16(bf16* w, float* m, float* v, float* g, std::size_t n, float lr,
-                      float beta1, float beta2, float eps, float inv_bias1,
-                      float inv_bias2) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const float gi = g[i];
-    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
-    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
-    const float mhat = m[i] * inv_bias1;
-    const float vhat = v[i] * inv_bias2;
-    const float wi = w[i].to_float() - lr * mhat / (std::sqrt(vhat) + eps);
-    w[i] = bf16::from_float(wi);
-    g[i] = 0.0f;
-  }
-}
-
-void s_dot_rows_f32(const float* w, std::size_t ld, const std::uint32_t* rows,
-                    std::size_t nrows, const float* x, std::size_t n, float* out) {
-  for (std::size_t r = 0; r < nrows; ++r) {
-    const std::size_t row = rows != nullptr ? rows[r] : r;
-    out[r] = s_dot_f32(w + row * ld, x, n);
-  }
-}
-
-void s_dot_rows_wf32_xbf16(const float* w, std::size_t ld, const std::uint32_t* rows,
-                           std::size_t nrows, const bf16* x, std::size_t n, float* out) {
-  for (std::size_t r = 0; r < nrows; ++r) {
-    const std::size_t row = rows != nullptr ? rows[r] : r;
-    out[r] = s_dot_bf16_f32(x, w + row * ld, n);
-  }
-}
-
-void s_dot_rows_wbf16_xbf16(const bf16* w, std::size_t ld, const std::uint32_t* rows,
-                            std::size_t nrows, const bf16* x, std::size_t n, float* out) {
-  for (std::size_t r = 0; r < nrows; ++r) {
-    const std::size_t row = rows != nullptr ? rows[r] : r;
-    out[r] = s_dot_bf16_bf16(x, w + row * ld, n);
-  }
-}
-
-void s_gather_f32(float* dst, const float* src, const std::uint32_t* idx, std::size_t n) {
-  for (std::size_t k = 0; k < n; ++k) dst[k] = src[idx[k]];
-}
-
-void s_gather_scatter_f32(float* dst, const std::uint32_t* dst_idx, const float* src,
-                          const std::uint32_t* src_idx, std::size_t n) {
-  for (std::size_t k = 0; k < n; ++k) dst[dst_idx[k]] = src[src_idx[k]];
-}
-
-void s_wta_winners_f32(const float* values, std::size_t num_bins, std::uint8_t* winners) {
-  for (std::size_t b = 0; b < num_bins; ++b) {
-    const float* bin = values + 8 * b;
-    std::uint8_t best = 0;
-    for (std::uint8_t s = 1; s < 8; ++s) {
-      if (bin[s] > bin[best]) best = s;
-    }
-    winners[b] = best;
-  }
-}
-
-}  // namespace
-
-const KernelTable kScalarTable = {
-    .dot_f32 = s_dot_f32,
-    .dot_bf16_f32 = s_dot_bf16_f32,
-    .dot_bf16_bf16 = s_dot_bf16_bf16,
-    .sparse_dot_f32 = s_sparse_dot_f32,
-    .sparse_dot_bf16 = s_sparse_dot_bf16,
-    .axpy_f32 = s_axpy_f32,
-    .axpy_bf16 = s_axpy_bf16,
-    .scatter_axpy_f32 = s_scatter_axpy_f32,
-    .scale_f32 = s_scale_f32,
-    .fill_f32 = s_fill_f32,
-    .relu_f32 = s_relu_f32,
-    .reduce_sum_f32 = s_reduce_sum_f32,
-    .reduce_max_f32 = s_reduce_max_f32,
-    .argmax_f32 = s_argmax_f32,
-    .softmax_f32 = s_softmax_f32,
-    .fp32_to_bf16 = s_fp32_to_bf16,
-    .bf16_to_fp32 = s_bf16_to_fp32,
-    .adam_step_f32 = s_adam_step_f32,
-    .adam_step_bf16 = s_adam_step_bf16,
-    .dot_rows_f32 = s_dot_rows_f32,
-    .dot_rows_wf32_xbf16 = s_dot_rows_wf32_xbf16,
-    .dot_rows_wbf16_xbf16 = s_dot_rows_wbf16_xbf16,
-    .gather_f32 = s_gather_f32,
-    .gather_scatter_f32 = s_gather_scatter_f32,
-    .wta_winners_f32 = s_wta_winners_f32,
-    .name = "scalar",
-};
+const KernelTable kScalarTable = make_kernel_table<SimdScalar>("scalar");
 
 }  // namespace slide::kernels

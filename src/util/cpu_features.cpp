@@ -14,8 +14,19 @@ bool cpu_has_avx512() {
 #endif
 }
 
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  static const bool has = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+#else
+  return false;
+#endif
+}
+
 const char* cpu_feature_string() {
-  return cpu_has_avx512() ? "avx512f avx512bw avx512dq avx512vl" : "scalar-only";
+  if (cpu_has_avx512()) return "avx512f avx512bw avx512dq avx512vl avx2 fma";
+  if (cpu_has_avx2()) return "avx2 fma";
+  return "scalar-only";
 }
 
 }  // namespace slide

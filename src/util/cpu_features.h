@@ -7,7 +7,12 @@ namespace slide {
 // backend was compiled against (F, BW, DQ, VL).
 bool cpu_has_avx512();
 
-// Human-readable summary ("avx512f avx512bw ..." or "scalar-only").
+// True when the running CPU supports AVX2 and FMA3 (the AVX2 backend's
+// requirements; FMA is a separate CPUID bit from AVX2).
+bool cpu_has_avx2();
+
+// Human-readable summary ("avx512f ... avx2 fma", "avx2 fma", or
+// "scalar-only").
 const char* cpu_feature_string();
 
 }  // namespace slide

@@ -1,0 +1,347 @@
+// Backend-parity tests: every KernelTable entry, on every vector backend
+// available on this host, cross-checked against the scalar reference on the
+// same inputs.  Exact equality where the kernel is a pure data movement or
+// per-lane bit operation (fill, relu, gather, conversions, argmax, WTA);
+// tolerance-based where vector reductions legitimately reassociate the
+// summation order (dots, reductions, softmax, ADAM).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "util/rng.h"
+
+namespace slide::kernels {
+namespace {
+
+// Full vector blocks, 8-lane and 16-lane tails, and empty inputs.
+const std::vector<std::size_t> kSizes = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 257};
+
+std::vector<float> random_vec(std::size_t n, Rng& rng, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = (rng.uniform_float() - 0.5f) * 2.0f * scale;
+  return v;
+}
+
+std::vector<std::uint32_t> unique_indices(std::size_t n, std::size_t universe, Rng& rng) {
+  std::vector<std::uint32_t> all(universe);
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t i = universe; i > 1; --i) {
+    std::swap(all[i - 1], all[rng.uniform_u64(i)]);
+  }
+  all.resize(n);
+  return all;
+}
+
+// Runs `fn` under the scalar backend, then under the backend-under-test, and
+// restores the ambient backend afterwards.
+template <class Fn>
+void on_both(Isa isa, const Fn& fn) {
+  const Isa ambient = active_isa();
+  ASSERT_TRUE(set_isa(Isa::Scalar));
+  fn(/*reference=*/true);
+  ASSERT_TRUE(set_isa(isa));
+  fn(/*reference=*/false);
+  set_isa(ambient);
+}
+
+float rel_tol(float ref) { return 1e-4f + std::abs(ref) * 1e-5f; }
+
+class BackendParityTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    ambient_ = active_isa();  // may be the SLIDE_ISA-selected default
+    if (GetParam() == Isa::Scalar) GTEST_SKIP() << "scalar is the reference";
+    if (!isa_available(GetParam())) GTEST_SKIP();
+  }
+  void TearDown() override { set_isa(ambient_); }
+  Isa ambient_ = Isa::Scalar;
+};
+
+TEST_P(BackendParityTest, DotFamily) {
+  Rng rng(101);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_vec(n, rng);
+    const auto b = random_vec(n, rng);
+    std::vector<bf16> a16(n), b16(n);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    fp32_to_bf16(a.data(), a16.data(), n);
+    fp32_to_bf16(b.data(), b16.data(), n);
+    const float ref_ff = dot_f32(a.data(), b.data(), n);
+    const float ref_bf = dot_bf16_f32(a16.data(), b.data(), n);
+    const float ref_bb = dot_bf16_bf16(a16.data(), b16.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    EXPECT_NEAR(dot_f32(a.data(), b.data(), n), ref_ff, rel_tol(ref_ff)) << "n=" << n;
+    EXPECT_NEAR(dot_bf16_f32(a16.data(), b.data(), n), ref_bf, rel_tol(ref_bf)) << "n=" << n;
+    EXPECT_NEAR(dot_bf16_bf16(a16.data(), b16.data(), n), ref_bb, rel_tol(ref_bb))
+        << "n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, SparseDots) {
+  Rng rng(102);
+  for (const std::size_t nnz : kSizes) {
+    const std::size_t universe = std::max<std::size_t>(4 * nnz, 64);
+    const auto idx = unique_indices(nnz, universe, rng);
+    const auto val = random_vec(nnz, rng);
+    const auto w = random_vec(universe, rng);
+    std::vector<bf16> w16(universe);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    fp32_to_bf16(w.data(), w16.data(), universe);
+    const float ref_f = sparse_dot_f32(idx.data(), val.data(), nnz, w.data());
+    const float ref_b = sparse_dot_bf16(idx.data(), val.data(), nnz, w16.data());
+    ASSERT_TRUE(set_isa(GetParam()));
+    EXPECT_NEAR(sparse_dot_f32(idx.data(), val.data(), nnz, w.data()), ref_f, rel_tol(ref_f))
+        << "nnz=" << nnz;
+    EXPECT_NEAR(sparse_dot_bf16(idx.data(), val.data(), nnz, w16.data()), ref_b,
+                rel_tol(ref_b))
+        << "nnz=" << nnz;
+  }
+}
+
+TEST_P(BackendParityTest, AxpyFamily) {
+  Rng rng(103);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng);
+    std::vector<bf16> x16(n);
+    const auto y0 = random_vec(n, rng);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    fp32_to_bf16(x.data(), x16.data(), n);
+    auto ref_f = y0;
+    auto ref_b = y0;
+    axpy_f32(0.77f, x.data(), ref_f.data(), n);
+    axpy_bf16(-0.41f, x16.data(), ref_b.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    auto got_f = y0;
+    auto got_b = y0;
+    axpy_f32(0.77f, x.data(), got_f.data(), n);
+    axpy_bf16(-0.41f, x16.data(), got_b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got_f[i], ref_f[i], 1e-5f) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(got_b[i], ref_b[i], 1e-5f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, ScatterAxpy) {
+  Rng rng(104);
+  for (const std::size_t nnz : kSizes) {
+    const std::size_t universe = std::max<std::size_t>(4 * nnz, 64);
+    const auto idx = unique_indices(nnz, universe, rng);
+    const auto val = random_vec(nnz, rng);
+    const auto w0 = random_vec(universe, rng);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    auto ref = w0;
+    scatter_axpy_f32(-1.25f, idx.data(), val.data(), nnz, ref.data());
+    ASSERT_TRUE(set_isa(GetParam()));
+    auto got = w0;
+    scatter_axpy_f32(-1.25f, idx.data(), val.data(), nnz, got.data());
+    for (std::size_t i = 0; i < universe; ++i) {
+      EXPECT_NEAR(got[i], ref[i], 1e-5f) << "nnz=" << nnz << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, ElementwiseExact) {
+  Rng rng(105);
+  for (const std::size_t n : kSizes) {
+    const auto x0 = random_vec(n, rng);
+    auto ref = x0;
+    auto got = x0;
+    on_both(GetParam(), [&](bool reference) {
+      auto& x = reference ? ref : got;
+      scale_f32(2.5f, x.data(), n);
+      relu_f32(x.data(), n);
+      fill_f32(x.data(), n / 2, -3.25f);  // partial fill: rest keeps relu output
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], ref[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(BackendParityTest, Reductions) {
+  Rng rng(106);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_vec(n, rng, 10.0f);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    const float ref_sum = reduce_sum_f32(x.data(), n);
+    const float ref_max = n > 0 ? reduce_max_f32(x.data(), n) : 0.0f;
+    const std::size_t ref_arg = argmax_f32(x.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    EXPECT_NEAR(reduce_sum_f32(x.data(), n), ref_sum, 1e-3f + std::abs(ref_sum) * 1e-5f);
+    if (n > 0) EXPECT_EQ(reduce_max_f32(x.data(), n), ref_max) << "n=" << n;
+    EXPECT_EQ(argmax_f32(x.data(), n), ref_arg) << "n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, Softmax) {
+  Rng rng(107);
+  for (const std::size_t n : kSizes) {
+    if (n == 0) continue;
+    const auto x0 = random_vec(n, rng, 5.0f);
+    auto ref = x0;
+    auto got = x0;
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    softmax_f32(ref.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    softmax_f32(got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i], ref[i], 2e-5f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, Bf16ConversionsBitExact) {
+  Rng rng(108);
+  for (const std::size_t n : kSizes) {
+    auto src = random_vec(n, rng, 100.0f);
+    if (n > 2) {
+      src[0] = std::nanf("");
+      src[n / 2] = 0.0f;
+      src[n - 1] = -0.0f;
+    }
+    std::vector<bf16> ref16(n), got16(n);
+    std::vector<float> ref32(n), got32(n);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    fp32_to_bf16(src.data(), ref16.data(), n);
+    bf16_to_fp32(ref16.data(), ref32.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    fp32_to_bf16(src.data(), got16.data(), n);
+    bf16_to_fp32(ref16.data(), got32.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got16[i].bits, ref16[i].bits) << "n=" << n << " i=" << i;
+      // Compare bit patterns so NaN == NaN.
+      std::uint32_t rb, gb;
+      std::memcpy(&rb, &ref32[i], 4);
+      std::memcpy(&gb, &got32[i], 4);
+      EXPECT_EQ(gb, rb) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, AdamSteps) {
+  Rng rng(109);
+  for (const std::size_t n : kSizes) {
+    const auto w0 = random_vec(n, rng);
+    const auto g0 = random_vec(n, rng);
+    std::vector<bf16> w16_ref(n), w16_got(n);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    fp32_to_bf16(w0.data(), w16_ref.data(), n);
+    w16_got = w16_ref;
+
+    auto ref_w = w0;
+    std::vector<float> ref_m(n, 0.1f), ref_v(n, 0.2f);
+    auto ref_g = g0;
+    adam_step_f32(ref_w.data(), ref_m.data(), ref_v.data(), ref_g.data(), n, 1e-3f, 0.9f,
+                  0.999f, 1e-8f, 1.5f, 1.2f);
+    std::vector<float> ref_m16(n, 0.1f), ref_v16(n, 0.2f);
+    auto ref_g16 = g0;
+    adam_step_bf16(w16_ref.data(), ref_m16.data(), ref_v16.data(), ref_g16.data(), n, 1e-3f,
+                   0.9f, 0.999f, 1e-8f, 1.5f, 1.2f);
+
+    ASSERT_TRUE(set_isa(GetParam()));
+    auto got_w = w0;
+    std::vector<float> got_m(n, 0.1f), got_v(n, 0.2f);
+    auto got_g = g0;
+    adam_step_f32(got_w.data(), got_m.data(), got_v.data(), got_g.data(), n, 1e-3f, 0.9f,
+                  0.999f, 1e-8f, 1.5f, 1.2f);
+    std::vector<float> got_m16(n, 0.1f), got_v16(n, 0.2f);
+    auto got_g16 = g0;
+    adam_step_bf16(w16_got.data(), got_m16.data(), got_v16.data(), got_g16.data(), n, 1e-3f,
+                   0.9f, 0.999f, 1e-8f, 1.5f, 1.2f);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got_w[i], ref_w[i], 1e-5f) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(got_m[i], ref_m[i], 1e-5f) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(got_v[i], ref_v[i], 1e-5f) << "n=" << n << " i=" << i;
+      EXPECT_EQ(got_g[i], 0.0f);
+      // bf16 weights round to 8 significand bits: parity within one ULP of
+      // the binade, not bit-exact (m/v stay fp32 and must agree tightly).
+      EXPECT_NEAR(w16_got[i].to_float(), w16_ref[i].to_float(),
+                  0.01f + 0.01f * std::abs(ref_w[i]))
+          << "n=" << n << " i=" << i;
+      EXPECT_NEAR(got_m16[i], ref_m16[i], 1e-5f);
+      EXPECT_NEAR(got_v16[i], ref_v16[i], 1e-5f);
+      EXPECT_EQ(got_g16[i], 0.0f);
+    }
+  }
+}
+
+TEST_P(BackendParityTest, DotRowsFamily) {
+  Rng rng(110);
+  const std::size_t total_rows = 48;
+  for (const std::size_t n : {1u, 8u, 9u, 17u, 128u}) {
+    for (const std::size_t nrows : {0u, 1u, 4u, 5u, 13u}) {
+      std::vector<float> w(total_rows * n);
+      for (auto& v : w) v = rng.normal_float();
+      const auto x = random_vec(n, rng);
+      const auto rows = unique_indices(nrows, total_rows, rng);
+      std::vector<bf16> w16(w.size()), x16(n);
+      ASSERT_TRUE(set_isa(Isa::Scalar));
+      fp32_to_bf16(w.data(), w16.data(), w.size());
+      fp32_to_bf16(x.data(), x16.data(), n);
+      std::vector<float> ref_ff(nrows), ref_fb(nrows), ref_bb(nrows);
+      dot_rows_f32(w.data(), n, rows.data(), nrows, x.data(), n, ref_ff.data());
+      dot_rows_wf32_xbf16(w.data(), n, rows.data(), nrows, x16.data(), n, ref_fb.data());
+      dot_rows_wbf16_xbf16(w16.data(), n, rows.data(), nrows, x16.data(), n, ref_bb.data());
+      ASSERT_TRUE(set_isa(GetParam()));
+      std::vector<float> got_ff(nrows), got_fb(nrows), got_bb(nrows);
+      dot_rows_f32(w.data(), n, rows.data(), nrows, x.data(), n, got_ff.data());
+      dot_rows_wf32_xbf16(w.data(), n, rows.data(), nrows, x16.data(), n, got_fb.data());
+      dot_rows_wbf16_xbf16(w16.data(), n, rows.data(), nrows, x16.data(), n, got_bb.data());
+      for (std::size_t r = 0; r < nrows; ++r) {
+        EXPECT_NEAR(got_ff[r], ref_ff[r], rel_tol(ref_ff[r])) << "n=" << n << " r=" << r;
+        EXPECT_NEAR(got_fb[r], ref_fb[r], rel_tol(ref_fb[r])) << "n=" << n << " r=" << r;
+        EXPECT_NEAR(got_bb[r], ref_bb[r], rel_tol(ref_bb[r])) << "n=" << n << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(BackendParityTest, GatherAndGatherScatterExact) {
+  Rng rng(111);
+  for (const std::size_t n : kSizes) {
+    const std::size_t universe = std::max<std::size_t>(2 * n, 32);
+    const auto src = random_vec(universe, rng);
+    std::vector<std::uint32_t> src_idx(n);
+    for (auto& i : src_idx) i = static_cast<std::uint32_t>(rng.uniform_u64(universe));
+    const auto dst_idx = unique_indices(n, universe, rng);
+
+    std::vector<float> ref_g(n, -7.0f), got_g(n, -7.0f);
+    std::vector<float> ref_s(universe, 0.0f), got_s(universe, 0.0f);
+    on_both(GetParam(), [&](bool reference) {
+      gather_f32(reference ? ref_g.data() : got_g.data(), src.data(), src_idx.data(), n);
+      gather_scatter_f32(reference ? ref_s.data() : got_s.data(), dst_idx.data(), src.data(),
+                         src_idx.data(), n);
+    });
+    EXPECT_EQ(got_g, ref_g) << "n=" << n;
+    EXPECT_EQ(got_s, ref_s) << "n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, WtaWinnersExact) {
+  Rng rng(112);
+  for (const std::size_t bins : {1u, 2u, 7u, 16u, 33u, 300u}) {
+    std::vector<float> values(bins * 8);
+    for (auto& v : values) v = rng.uniform_float() < 0.3f ? -FLT_MAX : rng.normal_float();
+    std::vector<std::uint8_t> ref(bins, 255), got(bins, 255);
+    on_both(GetParam(), [&](bool reference) {
+      wta_winners_f32(values.data(), bins, reference ? ref.data() : got.data());
+    });
+    EXPECT_EQ(got, ref) << "bins=" << bins;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorBackends, BackendParityTest,
+                         ::testing::ValuesIn(available_isas()),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return std::string(isa_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace slide::kernels

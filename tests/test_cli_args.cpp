@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "kernels/kernels.h"
+
 namespace slide::cli {
 namespace {
 
@@ -125,6 +129,54 @@ TEST(ArgParser, HelpListsAllFlagsWithDefaults) {
 TEST(ArgParser, GetUndeclaredThrows) {
   const ArgParser p = make_parser();
   EXPECT_THROW((void)p.get_string("nope"), std::out_of_range);
+}
+
+TEST(IsaFlag, SelectsRequestedBackend) {
+  const kernels::Isa ambient = kernels::active_isa();
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    ArgParser p("isa tool");
+    add_isa_flag(p);
+    const std::string value = std::string("--isa=") + kernels::isa_name(isa);
+    const char* argv[] = {"prog", value.c_str()};
+    ASSERT_TRUE(p.parse(2, argv)) << p.error();
+    std::string error;
+    ASSERT_TRUE(apply_isa_flag(p, &error)) << error;
+    EXPECT_EQ(kernels::active_isa(), isa);
+  }
+  kernels::set_isa(ambient);
+}
+
+TEST(IsaFlag, AutoKeepsSelectionAndBadNameFails) {
+  ArgParser p("isa tool");
+  add_isa_flag(p);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  std::string error;
+  EXPECT_TRUE(apply_isa_flag(p, &error)) << error;  // default "auto"
+
+  ArgParser bad("isa tool");
+  add_isa_flag(bad);
+  const char* argv2[] = {"prog", "--isa=mmx"};
+  ASSERT_TRUE(bad.parse(2, argv2));
+  EXPECT_FALSE(apply_isa_flag(bad, &error));
+  EXPECT_NE(error.find("mmx"), std::string::npos);
+}
+
+TEST(IsaFlag, UnavailableBackendFallsBackWithoutError) {
+  const kernels::Isa ambient = kernels::active_isa();
+  // Find a recognized but unavailable backend, if any exists on this host.
+  for (const kernels::Isa isa : {kernels::Isa::Avx2, kernels::Isa::Avx512}) {
+    if (kernels::isa_available(isa)) continue;
+    ArgParser p("isa tool");
+    add_isa_flag(p);
+    const std::string value = std::string("--isa=") + kernels::isa_name(isa);
+    const char* argv[] = {"prog", value.c_str()};
+    ASSERT_TRUE(p.parse(2, argv));
+    std::string error;
+    EXPECT_TRUE(apply_isa_flag(p, &error)) << "fallback must not be an error";
+    EXPECT_NE(kernels::active_isa(), isa);
+  }
+  kernels::set_isa(ambient);
 }
 
 }  // namespace

@@ -155,17 +155,22 @@ TEST(Dwta, IdenticalVectorsAlwaysCollide) {
 }
 
 TEST(Dwta, BackendsAgree) {
-  if (!kernels::avx512_available()) GTEST_SKIP();
+  // DWTA winner extraction must be bit-identical across every backend: any
+  // tie-rule divergence would silently change which buckets neurons land in.
   Rng rng(47);
+  const kernels::Isa ambient = kernels::active_isa();
   const DwtaHash h(128, 6, 50, 53);
   const auto x = random_positive(128, rng);
-  std::vector<std::uint32_t> a(50), b(50);
-  ASSERT_TRUE(kernels::set_isa(kernels::Isa::Avx512));
-  h.hash_dense(x.data(), a.data());
+  std::vector<std::uint32_t> ref(50);
   ASSERT_TRUE(kernels::set_isa(kernels::Isa::Scalar));
-  h.hash_dense(x.data(), b.data());
-  kernels::set_isa(kernels::Isa::Avx512);
-  EXPECT_EQ(a, b);
+  h.hash_dense(x.data(), ref.data());
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    std::vector<std::uint32_t> got(50);
+    ASSERT_TRUE(kernels::set_isa(isa));
+    h.hash_dense(x.data(), got.data());
+    EXPECT_EQ(got, ref) << "isa=" << kernels::isa_name(isa);
+  }
+  kernels::set_isa(ambient);
 }
 
 }  // namespace

@@ -118,22 +118,21 @@ TEST(Integration, Bf16ModesTrainToComparableAccuracy) {
   EXPECT_NEAR(p[2], p[0], 0.15);
 }
 
-TEST(Integration, ScalarAndAvx512TrainingBothConverge) {
+TEST(Integration, TrainingConvergesOnEveryBackend) {
   const Task task = make_task();
   TrainerConfig tcfg = task_trainer();
   tcfg.epochs = 3;
 
-  for (const kernels::Isa isa : {kernels::Isa::Scalar, kernels::Isa::Avx512}) {
-    if (isa == kernels::Isa::Avx512 && !kernels::avx512_available()) continue;
+  const kernels::Isa ambient = kernels::active_isa();
+  for (const kernels::Isa isa : kernels::available_isas()) {
     ASSERT_TRUE(kernels::set_isa(isa));
     Network net(make_slide_mlp(task.train.feature_dim(), 24, task.train.label_dim(),
                                task_lsh(), Precision::Fp32, 5));
     Trainer trainer(net, tcfg);
     const double p = trainer.train(task.train, task.test).final_p_at_1;
-    EXPECT_GT(p, 0.25) << "isa=" << static_cast<int>(isa);
+    EXPECT_GT(p, 0.25) << "isa=" << kernels::isa_name(isa);
   }
-  kernels::set_isa(kernels::avx512_available() ? kernels::Isa::Avx512
-                                               : kernels::Isa::Scalar);
+  kernels::set_isa(ambient);
 }
 
 TEST(Integration, CoalescedAndFragmentedLayoutsGiveSameResults) {

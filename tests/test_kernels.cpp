@@ -1,5 +1,7 @@
-// Backend-equivalence tests: every kernel, on both ISAs, across sizes that
-// exercise full 16-lane blocks, masked tails, and empty inputs.
+// Backend-equivalence tests: every kernel, on every backend available on
+// this host (scalar always; AVX2/AVX-512 when the CPU and build allow),
+// across sizes that exercise full vector blocks, masked tails, and empty
+// inputs for both the 8-lane and 16-lane widths.
 #include "kernels/kernels.h"
 
 #include <gtest/gtest.h>
@@ -38,14 +40,14 @@ std::vector<std::uint32_t> random_indices(std::size_t n, std::size_t universe, R
 class KernelIsaTest : public ::testing::TestWithParam<Isa> {
  protected:
   void SetUp() override {
-    if (GetParam() == Isa::Avx512 && !avx512_available()) {
-      GTEST_SKIP() << "AVX-512 not available on this host";
+    ambient_ = active_isa();  // may be the SLIDE_ISA-selected default
+    if (!isa_available(GetParam())) {
+      GTEST_SKIP() << isa_name(GetParam()) << " not available on this host";
     }
     ASSERT_TRUE(set_isa(GetParam()));
   }
-  void TearDown() override {
-    set_isa(avx512_available() ? Isa::Avx512 : Isa::Scalar);
-  }
+  void TearDown() override { set_isa(ambient_); }
+  Isa ambient_ = Isa::Scalar;
 };
 
 TEST_P(KernelIsaTest, DotMatchesDoubleReference) {
@@ -244,38 +246,62 @@ TEST_P(KernelIsaTest, WtaWinnersTieBreaksLow) {
   EXPECT_EQ(w, 0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, KernelIsaTest,
-                         ::testing::Values(Isa::Scalar, Isa::Avx512),
+INSTANTIATE_TEST_SUITE_P(Backends, KernelIsaTest, ::testing::ValuesIn(available_isas()),
                          [](const ::testing::TestParamInfo<Isa>& info) {
-                           return info.param == Isa::Scalar ? "Scalar" : "Avx512";
+                           return std::string(isa_name(info.param));
                          });
 
 TEST(KernelDispatch, SetIsaSwitchesBackend) {
-  ASSERT_TRUE(set_isa(Isa::Scalar));
-  EXPECT_EQ(active_isa(), Isa::Scalar);
-  EXPECT_STREQ(active_isa_name(), "scalar");
-  if (avx512_available()) {
-    ASSERT_TRUE(set_isa(Isa::Avx512));
-    EXPECT_EQ(active_isa(), Isa::Avx512);
-    EXPECT_STREQ(active_isa_name(), "avx512");
-  } else {
-    EXPECT_FALSE(set_isa(Isa::Avx512));
-    EXPECT_EQ(active_isa(), Isa::Scalar);
+  const Isa ambient = active_isa();
+  for (const Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512}) {
+    if (isa_available(isa)) {
+      ASSERT_TRUE(set_isa(isa));
+      EXPECT_EQ(active_isa(), isa);
+      EXPECT_STREQ(active_isa_name(), isa_name(isa));
+    } else {
+      ASSERT_TRUE(set_isa(Isa::Scalar));
+      EXPECT_FALSE(set_isa(isa)) << isa_name(isa);
+      EXPECT_EQ(active_isa(), Isa::Scalar) << "failed set_isa must not switch";
+    }
   }
+  set_isa(ambient);
+}
+
+TEST(KernelDispatch, AvailableIsasIsScalarFirstAndPriorityOrdered) {
+  const std::vector<Isa> isas = available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::Scalar);
+  for (std::size_t i = 0; i < isas.size(); ++i) {
+    EXPECT_TRUE(isa_available(isas[i]));
+    if (i > 0) EXPECT_LT(static_cast<int>(isas[i - 1]), static_cast<int>(isas[i]));
+  }
+  EXPECT_EQ(isas.back(), preferred_isa());
+}
+
+TEST(KernelDispatch, ParseIsaRoundTrips) {
+  for (const Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512}) {
+    Isa parsed = Isa::Scalar;
+    ASSERT_TRUE(parse_isa(isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa parsed = Isa::Avx512;
+  EXPECT_FALSE(parse_isa("avx1024", &parsed));
+  EXPECT_FALSE(parse_isa("", &parsed));
+  EXPECT_EQ(parsed, Isa::Avx512) << "failed parse must not write";
 }
 
 TEST(KernelDispatch, UnalignedPointersAreAccepted) {
   // Kernels use unaligned loads; feeding deliberately offset pointers must
-  // still give correct results on both backends.
+  // still give correct results on every backend.
+  const Isa ambient = active_isa();
   std::vector<float> raw(130, 0.0f);
   float* a = raw.data() + 1;
   for (int i = 0; i < 64; ++i) a[i] = static_cast<float>(i);
-  for (const Isa isa : {Isa::Scalar, Isa::Avx512}) {
-    if (isa == Isa::Avx512 && !avx512_available()) continue;
+  for (const Isa isa : available_isas()) {
     ASSERT_TRUE(set_isa(isa));
-    EXPECT_FLOAT_EQ(reduce_sum_f32(a, 64), 64.0f * 63.0f / 2.0f);
+    EXPECT_FLOAT_EQ(reduce_sum_f32(a, 64), 64.0f * 63.0f / 2.0f) << isa_name(isa);
   }
-  set_isa(avx512_available() ? Isa::Avx512 : Isa::Scalar);
+  set_isa(ambient);
 }
 
 }  // namespace

@@ -28,13 +28,12 @@ struct AdamRef {
 class AdamIsaTest : public ::testing::TestWithParam<kernels::Isa> {
  protected:
   void SetUp() override {
-    if (GetParam() == kernels::Isa::Avx512 && !kernels::avx512_available()) GTEST_SKIP();
+    ambient_ = kernels::active_isa();
+    if (!kernels::isa_available(GetParam())) GTEST_SKIP();
     ASSERT_TRUE(kernels::set_isa(GetParam()));
   }
-  void TearDown() override {
-    kernels::set_isa(kernels::avx512_available() ? kernels::Isa::Avx512
-                                                 : kernels::Isa::Scalar);
-  }
+  void TearDown() override { kernels::set_isa(ambient_); }
+  kernels::Isa ambient_ = kernels::Isa::Scalar;
 };
 
 TEST_P(AdamIsaTest, Fp32StepMatchesReferenceOverManySteps) {
@@ -119,9 +118,9 @@ TEST_P(AdamIsaTest, ZeroGradientLeavesWeightsNearlyStill) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, AdamIsaTest,
-                         ::testing::Values(kernels::Isa::Scalar, kernels::Isa::Avx512),
+                         ::testing::ValuesIn(kernels::available_isas()),
                          [](const ::testing::TestParamInfo<kernels::Isa>& info) {
-                           return info.param == kernels::Isa::Scalar ? "Scalar" : "Avx512";
+                           return std::string(kernels::isa_name(info.param));
                          });
 
 TEST(AdamBiasCorrection, MatchesClosedForm) {

@@ -15,13 +15,12 @@ const std::vector<std::size_t> kSizes = {0, 1, 7, 15, 16, 17, 32, 33, 100, 200};
 class Bf16IsaTest : public ::testing::TestWithParam<kernels::Isa> {
  protected:
   void SetUp() override {
-    if (GetParam() == kernels::Isa::Avx512 && !kernels::avx512_available()) GTEST_SKIP();
+    ambient_ = kernels::active_isa();
+    if (!kernels::isa_available(GetParam())) GTEST_SKIP();
     ASSERT_TRUE(kernels::set_isa(GetParam()));
   }
-  void TearDown() override {
-    kernels::set_isa(kernels::avx512_available() ? kernels::Isa::Avx512
-                                                 : kernels::Isa::Scalar);
-  }
+  void TearDown() override { kernels::set_isa(ambient_); }
+  kernels::Isa ambient_ = kernels::Isa::Scalar;
 };
 
 std::vector<float> random_vec(std::size_t n, Rng& rng) {
@@ -144,9 +143,9 @@ TEST_P(Bf16IsaTest, QuantizedDotStaysWithinBf16ErrorBound) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, Bf16IsaTest,
-                         ::testing::Values(kernels::Isa::Scalar, kernels::Isa::Avx512),
+                         ::testing::ValuesIn(kernels::available_isas()),
                          [](const ::testing::TestParamInfo<kernels::Isa>& info) {
-                           return info.param == kernels::Isa::Scalar ? "Scalar" : "Avx512";
+                           return std::string(kernels::isa_name(info.param));
                          });
 
 }  // namespace

@@ -79,16 +79,9 @@ bool apply_common_system_flags(const cli::ArgParser& args) {
   if (args.was_set("threads")) {
     set_global_pool_threads(static_cast<unsigned>(args.get_int("threads")));
   }
-  const std::string isa = args.get_string("isa");
-  if (isa == "scalar") {
-    kernels::set_isa(kernels::Isa::Scalar);
-  } else if (isa == "avx512") {
-    if (!kernels::set_isa(kernels::Isa::Avx512)) {
-      std::fprintf(stderr, "error: AVX-512 not available on this CPU\n");
-      return false;
-    }
-  } else if (isa != "auto") {
-    std::fprintf(stderr, "error: --isa must be auto|scalar|avx512\n");
+  std::string error;
+  if (!cli::apply_isa_flag(args, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
     return false;
   }
   return true;
@@ -112,7 +105,7 @@ int cmd_train(int argc, const char* const* argv) {
   args.add_int("rebuild-interval", 16, "batches between table refreshes");
   args.add_string("save", "", "write a checkpoint here after training");
   args.add_int("threads", 0, "worker threads (default: all hardware threads)");
-  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx512");
+  cli::add_isa_flag(args);
   args.add_int("seed", 42, "random seed");
   args.add_flag("linear-hidden", "use a linear (word2vec-style) hidden layer");
   if (help_requested(args, argc, argv)) return 0;
@@ -194,7 +187,7 @@ int cmd_eval(int argc, const char* const* argv) {
   args.add_int("topk", 5, "report P@1..P@k");
   args.add_int("max-examples", 0, "evaluation cap (0 = all)");
   args.add_int("threads", 0, "worker threads");
-  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx512");
+  cli::add_isa_flag(args);
   if (help_requested(args, argc, argv)) return 0;
   if (!args.parse(argc, argv, 2)) {
     std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
