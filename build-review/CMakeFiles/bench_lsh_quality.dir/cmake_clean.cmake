@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsh_quality.dir/bench/bench_lsh_quality.cpp.o"
+  "CMakeFiles/bench_lsh_quality.dir/bench/bench_lsh_quality.cpp.o.d"
+  "bench_lsh_quality"
+  "bench_lsh_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsh_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memopt_ablation.dir/bench/bench_memopt_ablation.cpp.o"
+  "CMakeFiles/bench_memopt_ablation.dir/bench/bench_memopt_ablation.cpp.o.d"
+  "bench_memopt_ablation"
+  "bench_memopt_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memopt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

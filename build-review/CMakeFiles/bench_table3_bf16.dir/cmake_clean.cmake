@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bf16.dir/bench/bench_table3_bf16.cpp.o"
+  "CMakeFiles/bench_table3_bf16.dir/bench/bench_table3_bf16.cpp.o.d"
+  "bench_table3_bf16"
+  "bench_table3_bf16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bf16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

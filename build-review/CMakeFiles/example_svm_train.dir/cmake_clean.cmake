@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_svm_train.dir/examples/svm_train.cpp.o"
+  "CMakeFiles/example_svm_train.dir/examples/svm_train.cpp.o.d"
+  "example_svm_train"
+  "example_svm_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_svm_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

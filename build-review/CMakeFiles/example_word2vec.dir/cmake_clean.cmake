@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_word2vec.dir/examples/word2vec.cpp.o"
+  "CMakeFiles/example_word2vec.dir/examples/word2vec.cpp.o.d"
+  "example_word2vec"
+  "example_word2vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_word2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

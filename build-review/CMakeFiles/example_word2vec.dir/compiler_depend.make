@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_word2vec.
+# This may be replaced when dependencies are built.

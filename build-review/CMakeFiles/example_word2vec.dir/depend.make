@@ -1,0 +1,2 @@
+# Empty dependencies file for example_word2vec.
+# This may be replaced when dependencies are built.

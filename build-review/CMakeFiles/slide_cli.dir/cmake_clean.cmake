@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slide_cli.dir/tools/slide_cli.cpp.o"
+  "CMakeFiles/slide_cli.dir/tools/slide_cli.cpp.o.d"
+  "slide_cli"
+  "slide_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slide_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dense_network.cpp" "CMakeFiles/slide_core.dir/src/baseline/dense_network.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/baseline/dense_network.cpp.o.d"
+  "/root/repo/src/cli/args.cpp" "CMakeFiles/slide_core.dir/src/cli/args.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/cli/args.cpp.o.d"
+  "/root/repo/src/core/adam.cpp" "CMakeFiles/slide_core.dir/src/core/adam.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/adam.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "CMakeFiles/slide_core.dir/src/core/config.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/config.cpp.o.d"
+  "/root/repo/src/core/layer.cpp" "CMakeFiles/slide_core.dir/src/core/layer.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/layer.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/slide_core.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "CMakeFiles/slide_core.dir/src/core/network.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/network.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "CMakeFiles/slide_core.dir/src/core/serialize.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/serialize.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/slide_core.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/slide_core.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/sparse_batch.cpp" "CMakeFiles/slide_core.dir/src/data/sparse_batch.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/data/sparse_batch.cpp.o.d"
+  "/root/repo/src/data/svm_reader.cpp" "CMakeFiles/slide_core.dir/src/data/svm_reader.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/data/svm_reader.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/slide_core.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/text_corpus.cpp" "CMakeFiles/slide_core.dir/src/data/text_corpus.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/data/text_corpus.cpp.o.d"
+  "/root/repo/src/kernels/avx2.cpp" "CMakeFiles/slide_core.dir/src/kernels/avx2.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/kernels/avx2.cpp.o.d"
+  "/root/repo/src/kernels/avx512.cpp" "CMakeFiles/slide_core.dir/src/kernels/avx512.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/kernels/avx512.cpp.o.d"
+  "/root/repo/src/kernels/dispatch.cpp" "CMakeFiles/slide_core.dir/src/kernels/dispatch.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/kernels/dispatch.cpp.o.d"
+  "/root/repo/src/kernels/scalar.cpp" "CMakeFiles/slide_core.dir/src/kernels/scalar.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/kernels/scalar.cpp.o.d"
+  "/root/repo/src/lsh/dwta.cpp" "CMakeFiles/slide_core.dir/src/lsh/dwta.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/lsh/dwta.cpp.o.d"
+  "/root/repo/src/lsh/lsh_table.cpp" "CMakeFiles/slide_core.dir/src/lsh/lsh_table.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/lsh/lsh_table.cpp.o.d"
+  "/root/repo/src/lsh/sampler.cpp" "CMakeFiles/slide_core.dir/src/lsh/sampler.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/lsh/sampler.cpp.o.d"
+  "/root/repo/src/lsh/simhash.cpp" "CMakeFiles/slide_core.dir/src/lsh/simhash.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/lsh/simhash.cpp.o.d"
+  "/root/repo/src/naive/naive_network.cpp" "CMakeFiles/slide_core.dir/src/naive/naive_network.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/naive/naive_network.cpp.o.d"
+  "/root/repo/src/naive/naive_trainer.cpp" "CMakeFiles/slide_core.dir/src/naive/naive_trainer.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/naive/naive_trainer.cpp.o.d"
+  "/root/repo/src/threading/thread_pool.cpp" "CMakeFiles/slide_core.dir/src/threading/thread_pool.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/threading/thread_pool.cpp.o.d"
+  "/root/repo/src/util/bf16.cpp" "CMakeFiles/slide_core.dir/src/util/bf16.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/util/bf16.cpp.o.d"
+  "/root/repo/src/util/cpu_features.cpp" "CMakeFiles/slide_core.dir/src/util/cpu_features.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/util/cpu_features.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/slide_core.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/slide_core.dir/src/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+CMakeFiles/slide_core.dir/src/util/cpu_features.cpp.o: \
+ /root/repo/src/util/cpu_features.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/util/cpu_features.h

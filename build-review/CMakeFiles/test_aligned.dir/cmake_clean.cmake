@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned.dir/tests/test_aligned.cpp.o"
+  "CMakeFiles/test_aligned.dir/tests/test_aligned.cpp.o.d"
+  "test_aligned"
+  "test_aligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bf16.dir/tests/test_bf16.cpp.o"
+  "CMakeFiles/test_bf16.dir/tests/test_bf16.cpp.o.d"
+  "test_bf16"
+  "test_bf16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bf16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_args.dir/tests/test_cli_args.cpp.o"
+  "CMakeFiles/test_cli_args.dir/tests/test_cli_args.cpp.o.d"
+  "test_cli_args"
+  "test_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dwta.dir/tests/test_dwta.cpp.o"
+  "CMakeFiles/test_dwta.dir/tests/test_dwta.cpp.o.d"
+  "test_dwta"
+  "test_dwta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dwta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_adam.dir/tests/test_kernels_adam.cpp.o"
+  "CMakeFiles/test_kernels_adam.dir/tests/test_kernels_adam.cpp.o.d"
+  "test_kernels_adam"
+  "test_kernels_adam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

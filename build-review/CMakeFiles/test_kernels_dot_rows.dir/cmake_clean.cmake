@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_dot_rows.dir/tests/test_kernels_dot_rows.cpp.o"
+  "CMakeFiles/test_kernels_dot_rows.dir/tests/test_kernels_dot_rows.cpp.o.d"
+  "test_kernels_dot_rows"
+  "test_kernels_dot_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_dot_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh_table.dir/tests/test_lsh_table.cpp.o"
+  "CMakeFiles/test_lsh_table.dir/tests/test_lsh_table.cpp.o.d"
+  "test_lsh_table"
+  "test_lsh_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

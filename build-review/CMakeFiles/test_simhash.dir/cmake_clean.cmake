@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simhash.dir/tests/test_simhash.cpp.o"
+  "CMakeFiles/test_simhash.dir/tests/test_simhash.cpp.o.d"
+  "test_simhash"
+  "test_simhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

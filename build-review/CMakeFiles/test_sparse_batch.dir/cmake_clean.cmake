@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_batch.dir/tests/test_sparse_batch.cpp.o"
+  "CMakeFiles/test_sparse_batch.dir/tests/test_sparse_batch.cpp.o.d"
+  "test_sparse_batch"
+  "test_sparse_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

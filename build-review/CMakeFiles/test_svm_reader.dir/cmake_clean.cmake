@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm_reader.dir/tests/test_svm_reader.cpp.o"
+  "CMakeFiles/test_svm_reader.dir/tests/test_svm_reader.cpp.o.d"
+  "test_svm_reader"
+  "test_svm_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_corpus.dir/tests/test_text_corpus.cpp.o"
+  "CMakeFiles/test_text_corpus.dir/tests/test_text_corpus.cpp.o.d"
+  "test_text_corpus"
+  "test_text_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
