@@ -1,0 +1,110 @@
+// Serving-throughput benchmark for the frozen-model inference path.
+//
+//   ./bench_inference_qps
+//
+// Trains one scaled Amazon-670K-like workload, freezes it at fp32 and bf16
+// weights, and reports queries-per-second over the grid the serving scenario
+// cares about:
+//
+//     {batched, per-example} x {dense, sampled} x {fp32, bf16} x available ISAs
+//
+// Batched rows fan the query stream over the thread pool through
+// InferenceEngine::predict_topk_batch; per-example rows issue one blocking
+// query at a time (the latency-bound client pattern).  Dense rows evaluate
+// every output neuron through the blocked dot_rows_* kernels; sampled rows
+// probe the frozen LSH tables first (SLIDE's sublinear inference).
+//
+// Env knobs: SLIDE_BENCH_SCALE (dataset size), SLIDE_BENCH_EPOCHS (training
+// epochs before the freeze, default 1), SLIDE_BENCH_QUERIES (query cap).
+#include "bench_common.h"
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "infer/engine.h"
+#include "infer/packed_model.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace slide;
+
+struct GridResult {
+  double qps = 0.0;
+  double p1 = 0.0;
+};
+
+GridResult serve(infer::InferenceEngine& engine, const data::Dataset& test,
+                 std::span<const data::SparseVectorView> queries, infer::TopKMode mode,
+                 bool batched) {
+  constexpr std::size_t kTopK = 5;
+  std::vector<std::uint32_t> ids(queries.size() * kTopK);
+  Timer timer;
+  if (batched) {
+    engine.predict_topk_batch(queries, kTopK, ids.data(), nullptr, mode);
+  } else {
+    std::vector<std::uint32_t> one;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      engine.predict_topk(queries[i], kTopK, one, mode);
+      std::copy(one.begin(), one.end(), ids.begin() + i * kTopK);
+    }
+  }
+  GridResult r;
+  r.qps = static_cast<double>(queries.size()) / timer.seconds();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    r.p1 += precision_at_k({ids.data() + i * kTopK, 1}, test.labels(i));
+  }
+  r.p1 /= static_cast<double>(queries.size());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace slide;
+  bench::print_header("Inference QPS: frozen PackedModel + InferenceEngine");
+
+  bench::Workload w = bench::make_workload(baseline::PaperDataset::Amazon670k);
+  const std::size_t epochs = bench::env_size("SLIDE_BENCH_EPOCHS", 1);
+  set_global_pool_threads(bench::cpx_threads());
+
+  Network net(bench::workload_network(w, Precision::Fp32));
+  Trainer trainer(net, bench::trainer_config(w, epochs));
+  trainer.train(w.train, w.test);
+  net.rebuild_hash_tables(&global_pool());
+
+  const infer::PackedModel packed_fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
+  const infer::PackedModel packed_bf16 =
+      infer::PackedModel::freeze(net, Precision::Bf16All);
+  std::printf("model: %zu params; serving arena fp32=%.1f MiB bf16=%.1f MiB\n",
+              packed_fp32.num_params(),
+              static_cast<double>(packed_fp32.arena_bytes()) / (1024.0 * 1024.0),
+              static_cast<double>(packed_bf16.arena_bytes()) / (1024.0 * 1024.0));
+
+  const std::size_t n =
+      std::min(w.test.size(), bench::env_size("SLIDE_BENCH_QUERIES", 4000));
+  std::vector<data::SparseVectorView> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queries.push_back(w.test.features(i));
+
+  std::printf("%-8s %-6s %-12s %-8s %12s %8s\n", "isa", "prec", "submission", "mode",
+              "QPS", "P@1");
+  bench::print_rule(60);
+  const kernels::Isa saved = kernels::active_isa();
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    kernels::set_isa(isa);
+    for (const bool bf16 : {false, true}) {
+      infer::InferenceEngine engine(bf16 ? packed_bf16 : packed_fp32);
+      for (const bool batched : {true, false}) {
+        for (const auto mode : {infer::TopKMode::Dense, infer::TopKMode::Sampled}) {
+          const GridResult r = serve(engine, w.test, queries, mode, batched);
+          std::printf("%-8s %-6s %-12s %-8s %12.0f %8.4f\n", kernels::isa_name(isa),
+                      bf16 ? "bf16" : "fp32", batched ? "batched" : "per-example",
+                      mode == infer::TopKMode::Dense ? "dense" : "sampled", r.qps, r.p1);
+        }
+      }
+    }
+  }
+  kernels::set_isa(saved);
+  return 0;
+}

@@ -25,7 +25,7 @@ float init_stddev(Activation act, std::size_t fan_in, std::size_t fan_out) {
 
 Layer::Layer(std::size_t input_dim, const LayerConfig& cfg, Precision precision,
              std::uint64_t seed)
-    : input_dim_(input_dim), dim_(cfg.dim), cfg_(cfg), precision_(precision) {
+    : input_dim_(input_dim), dim_(cfg.dim), cfg_(cfg), precision_(precision), seed_(seed) {
   if (input_dim_ == 0) throw std::invalid_argument("Layer: input_dim must be > 0");
   if (dim_ == 0) throw std::invalid_argument("Layer: dim must be > 0");
 

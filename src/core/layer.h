@@ -44,6 +44,9 @@ class Layer {
 
   std::size_t dim() const { return dim_; }
   std::size_t input_dim() const { return input_dim_; }
+  // Construction seed: the hash family and table RNG streams are derived
+  // from it, so a frozen PackedModel can rebuild identical LSH state.
+  std::uint64_t seed() const { return seed_; }
   Activation activation() const { return cfg_.activation; }
   Precision precision() const { return precision_; }
   bool uses_hashing() const { return family_ != nullptr; }
@@ -88,8 +91,10 @@ class Layer {
     } else {
       kernels::dot_rows_f32(w_.data(), input_dim_, rows, count, prev_act, input_dim_, out);
     }
-    for (std::size_t k = 0; k < count; ++k) {
-      out[k] += bias_[rows != nullptr ? rows[k] : static_cast<std::uint32_t>(k)];
+    if (rows != nullptr) {
+      for (std::size_t k = 0; k < count; ++k) out[k] += bias_[rows[k]];
+    } else {
+      for (std::size_t k = 0; k < count; ++k) out[k] += bias_[k];
     }
   }
 
@@ -183,6 +188,7 @@ class Layer {
   std::size_t dim_ = 0;
   LayerConfig cfg_;
   Precision precision_ = Precision::Fp32;
+  std::uint64_t seed_ = 0;
 
   AlignedVector<float> w_;    // dim x input_dim, row-major (Fp32 / Bf16Activations)
   AlignedVector<bf16> w16_;   // dim x input_dim, row-major (Bf16All)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/layer.h"
+#include "core/scratch.h"
 #include "lsh/sampler.h"
 
 namespace slide {
@@ -24,16 +25,13 @@ class Workspace {
  public:
   Workspace(const Network& net, std::uint64_t seed);
 
-  struct LayerState {
-    std::vector<std::uint32_t> active;  // empty for dense layers
-    AlignedVector<float> act;           // fp32 master activations
-    AlignedVector<bf16> act16;          // bf16 mirror (Precision != Fp32)
+  // The query-side scratch (active set, activations, buckets, sampler) is the
+  // shared LayerScratch; training adds the gradient-side buffers.
+  struct LayerState : LayerScratch {
     AlignedVector<float> grad;          // dL/d(pre-activation), same indexing as act
-    std::vector<std::uint32_t> buckets; // one bucket index per hash table
     AlignedVector<float> gather_scratch;
-    lsh::SamplerScratch sampler;
 
-    explicit LayerState(std::uint64_t sampler_seed) : sampler(sampler_seed) {}
+    explicit LayerState(std::uint64_t sampler_seed) : LayerScratch(sampler_seed) {}
   };
 
   std::vector<LayerState> layers;

@@ -1,0 +1,30 @@
+// Per-layer forward-pass scratch shared by the training Workspace and the
+// serving InferenceEngine.
+//
+// Both paths need the same per-layer query state — the LSH-selected active
+// set, the activation buffer (fp32 master + optional bf16 mirror), the
+// per-table bucket indices, and the sampler's epoch-stamped dedup scratch.
+// Training additionally needs gradient buffers; Workspace::LayerState layers
+// those on top of this struct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/sampler.h"
+#include "util/aligned.h"
+#include "util/bf16.h"
+
+namespace slide {
+
+struct LayerScratch {
+  std::vector<std::uint32_t> active;  // empty for dense layers
+  AlignedVector<float> act;           // fp32 master activations
+  AlignedVector<bf16> act16;          // bf16 mirror (Precision != Fp32)
+  std::vector<std::uint32_t> buckets; // one bucket index per hash table
+  lsh::SamplerScratch sampler;
+
+  explicit LayerScratch(std::uint64_t sampler_seed) : sampler(sampler_seed) {}
+};
+
+}  // namespace slide

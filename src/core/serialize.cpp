@@ -4,68 +4,20 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/serialize_io.h"
 #include "threading/thread_pool.h"
 
 namespace slide {
 namespace {
 
+using io::read_array;
+using io::read_layer_config;
+using io::read_pod;
+using io::write_array;
+using io::write_layer_config;
+using io::write_pod;
+
 constexpr std::uint32_t kMagic = 0x534C444Eu;  // "SLDN"
-
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("checkpoint: truncated input");
-  return v;
-}
-
-template <typename T>
-void write_array(std::ostream& out, const T* data, std::size_t count) {
-  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
-}
-
-template <typename T>
-void read_array(std::istream& in, T* data, std::size_t count) {
-  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
-  if (!in) throw std::runtime_error("checkpoint: truncated array");
-}
-
-void write_layer_config(std::ostream& out, const LayerConfig& cfg) {
-  write_pod<std::uint64_t>(out, cfg.dim);
-  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.activation));
-  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.kind));
-  write_pod<std::int32_t>(out, cfg.lsh.k);
-  write_pod<std::int32_t>(out, cfg.lsh.l);
-  write_pod<std::uint32_t>(out, cfg.lsh.bucket_capacity);
-  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.bucket_policy));
-  write_pod<std::uint64_t>(out, cfg.lsh.min_active);
-  write_pod<std::uint64_t>(out, cfg.lsh.max_active);
-  write_pod<std::uint64_t>(out, cfg.lsh.rebuild_interval);
-  write_pod<double>(out, cfg.lsh.rebuild_growth);
-  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.maintenance));
-}
-
-LayerConfig read_layer_config(std::istream& in) {
-  LayerConfig cfg;
-  cfg.dim = read_pod<std::uint64_t>(in);
-  cfg.activation = static_cast<Activation>(read_pod<std::uint8_t>(in));
-  cfg.lsh.kind = static_cast<HashKind>(read_pod<std::uint8_t>(in));
-  cfg.lsh.k = read_pod<std::int32_t>(in);
-  cfg.lsh.l = read_pod<std::int32_t>(in);
-  cfg.lsh.bucket_capacity = read_pod<std::uint32_t>(in);
-  cfg.lsh.bucket_policy = static_cast<lsh::BucketPolicy>(read_pod<std::uint8_t>(in));
-  cfg.lsh.min_active = read_pod<std::uint64_t>(in);
-  cfg.lsh.max_active = read_pod<std::uint64_t>(in);
-  cfg.lsh.rebuild_interval = read_pod<std::uint64_t>(in);
-  cfg.lsh.rebuild_growth = read_pod<double>(in);
-  cfg.lsh.maintenance = static_cast<LshMaintenance>(read_pod<std::uint8_t>(in));
-  return cfg;
-}
 
 }  // namespace
 

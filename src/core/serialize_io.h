@@ -1,0 +1,74 @@
+// Low-level binary IO shared by the Network checkpoint format
+// (core/serialize.cpp) and the PackedModel serving format
+// (infer/packed_model.cpp): POD and array read/write plus the LayerConfig
+// record both formats embed.
+//
+// All readers throw std::runtime_error on truncated input.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/config.h"
+
+namespace slide::io {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated input");
+  return v;
+}
+
+template <typename T>
+void write_array(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_array(std::istream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("checkpoint: truncated array");
+}
+
+inline void write_layer_config(std::ostream& out, const LayerConfig& cfg) {
+  write_pod<std::uint64_t>(out, cfg.dim);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.activation));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.kind));
+  write_pod<std::int32_t>(out, cfg.lsh.k);
+  write_pod<std::int32_t>(out, cfg.lsh.l);
+  write_pod<std::uint32_t>(out, cfg.lsh.bucket_capacity);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.bucket_policy));
+  write_pod<std::uint64_t>(out, cfg.lsh.min_active);
+  write_pod<std::uint64_t>(out, cfg.lsh.max_active);
+  write_pod<std::uint64_t>(out, cfg.lsh.rebuild_interval);
+  write_pod<double>(out, cfg.lsh.rebuild_growth);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.lsh.maintenance));
+}
+
+inline LayerConfig read_layer_config(std::istream& in) {
+  LayerConfig cfg;
+  cfg.dim = read_pod<std::uint64_t>(in);
+  cfg.activation = static_cast<Activation>(read_pod<std::uint8_t>(in));
+  cfg.lsh.kind = static_cast<HashKind>(read_pod<std::uint8_t>(in));
+  cfg.lsh.k = read_pod<std::int32_t>(in);
+  cfg.lsh.l = read_pod<std::int32_t>(in);
+  cfg.lsh.bucket_capacity = read_pod<std::uint32_t>(in);
+  cfg.lsh.bucket_policy = static_cast<lsh::BucketPolicy>(read_pod<std::uint8_t>(in));
+  cfg.lsh.min_active = read_pod<std::uint64_t>(in);
+  cfg.lsh.max_active = read_pod<std::uint64_t>(in);
+  cfg.lsh.rebuild_interval = read_pod<std::uint64_t>(in);
+  cfg.lsh.rebuild_growth = read_pod<double>(in);
+  cfg.lsh.maintenance = static_cast<LshMaintenance>(read_pod<std::uint8_t>(in));
+  return cfg;
+}
+
+}  // namespace slide::io

@@ -5,6 +5,7 @@
 
 #include "core/metrics.h"
 #include "threading/thread_pool.h"
+#include "util/aligned.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -46,7 +47,9 @@ double Trainer::train_one_epoch(const data::Dataset& train_set) {
     }
   }
 
-  std::vector<double> loss_partials(pool.size(), 0.0);
+  // Cache-line-padded slots: adjacent ranks must not share a line (the
+  // HOGWILD workers bump their partial every example).
+  std::vector<CacheAligned<double>> loss_partials(pool.size());
   const std::size_t grain = std::max<std::size_t>(1, bs / (4 * pool.size()));
 
   Timer timer;
@@ -68,7 +71,7 @@ double Trainer::train_one_epoch(const data::Dataset& train_set) {
         local_loss += net_.forward(x, labels, ws, /*train=*/true);
         net_.backward(x, labels, ws);
       }
-      loss_partials[rank] += local_loss;
+      loss_partials[rank].value += local_loss;
     });
 
     net_.adam_step(cfg_.adam, &pool);
@@ -77,7 +80,7 @@ double Trainer::train_one_epoch(const data::Dataset& train_set) {
   const double seconds = timer.seconds();
 
   double total_loss = 0.0;
-  for (const double l : loss_partials) total_loss += l;
+  for (const auto& l : loss_partials) total_loss += l.value;
   last_avg_loss_ = n > 0 ? total_loss / static_cast<double>(n) : 0.0;
   return seconds;
 }
@@ -89,7 +92,7 @@ double Trainer::evaluate_p_at_1(const data::Dataset& test_set, std::size_t max_e
                                           : std::min(test_set.size(), max_examples);
   if (n == 0) return 0.0;
 
-  std::vector<std::size_t> hit_partials(pool.size(), 0);
+  std::vector<CacheAligned<std::size_t>> hit_partials(pool.size());
   pool.parallel_for_dynamic(n, 16, [&](unsigned rank, std::size_t lo, std::size_t hi) {
     Workspace& ws = workspaces_[rank];
     std::size_t hits = 0;
@@ -102,11 +105,11 @@ double Trainer::evaluate_p_at_1(const data::Dataset& test_set, std::size_t max_e
         }
       }
     }
-    hit_partials[rank] += hits;
+    hit_partials[rank].value += hits;
   });
 
   std::size_t hits = 0;
-  for (const std::size_t h : hit_partials) hits += h;
+  for (const auto& h : hit_partials) hits += h.value;
   return static_cast<double>(hits) / static_cast<double>(n);
 }
 
@@ -118,7 +121,7 @@ double Trainer::evaluate_p_at_k(const data::Dataset& test_set, std::size_t k,
                                           : std::min(test_set.size(), max_examples);
   if (n == 0 || k == 0) return 0.0;
 
-  std::vector<double> partials(pool.size(), 0.0);
+  std::vector<CacheAligned<double>> partials(pool.size());
   pool.parallel_for_dynamic(n, 16, [&](unsigned rank, std::size_t lo, std::size_t hi) {
     Workspace& ws = workspaces_[rank];
     std::vector<std::uint32_t> topk;
@@ -127,11 +130,11 @@ double Trainer::evaluate_p_at_k(const data::Dataset& test_set, std::size_t k,
       net_.predict_topk(test_set.features(i), k, ws, topk);
       local += precision_at_k(topk, test_set.labels(i));
     }
-    partials[rank] += local;
+    partials[rank].value += local;
   });
 
   double total = 0.0;
-  for (const double p : partials) total += p;
+  for (const auto& p : partials) total += p.value;
   return total / static_cast<double>(n);
 }
 

@@ -1,0 +1,228 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "kernels/kernels.h"
+#include "lsh/sampler.h"
+#include "util/rng.h"
+
+namespace slide::infer {
+
+InferenceEngine::InferenceEngine(const PackedModel& model, std::uint64_t seed)
+    : model_(model), seed_(seed) {}
+
+std::unique_ptr<InferenceEngine::Scratch> InferenceEngine::acquire_scratch() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      auto s = std::move(free_.back());
+      free_.pop_back();
+      return s;
+    }
+  }
+  const std::uint64_t seq = scratch_seq_.fetch_add(1, std::memory_order_relaxed);
+  auto s = std::make_unique<Scratch>();
+  s->layers.reserve(model_.num_layers());
+  for (std::size_t i = 0; i < model_.num_layers(); ++i) {
+    const PackedModel::Layer& L = model_.layer(i);
+    LayerScratch st(mix64(seed_, seq, i));
+    if (L.uses_hashing()) {
+      st.buckets.resize(L.family->num_tables());
+      const std::size_t hint =
+          std::min<std::size_t>(L.dim, std::max<std::size_t>(L.cfg.lsh.min_active, 256));
+      st.active.reserve(hint);
+      st.act.reserve(hint);
+    } else {
+      st.act.reserve(L.dim);
+    }
+    s->layers.push_back(std::move(st));
+  }
+  return s;
+}
+
+void InferenceEngine::release_scratch(std::unique_ptr<Scratch> s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(s));
+}
+
+// One forward pass, kernel-for-kernel identical to the Network paths so
+// that fp32 logits — and therefore the top-k — are bit-identical to
+// Network::predict_topk.  With use_tables, hashed layers select an LSH
+// candidate set first (compact activations over `active`); without, every
+// layer runs full-width through the blocked dot_rows_* kernels.  Returns
+// false when a hashed layer produced an empty candidate set (possible when
+// min_active == 0 and every probed bucket is empty) — the pass is aborted
+// and the caller falls back to the exact pass.
+bool InferenceEngine::forward_pass(data::SparseVectorView x, bool use_tables, Scratch& s) {
+  const bool bf16_act = model_.precision() != Precision::Fp32;
+  const bool bf16_w = model_.precision() == Precision::Bf16All;
+  const std::size_t last = model_.num_layers() - 1;
+  for (std::size_t i = 0; i < model_.num_layers(); ++i) {
+    const PackedModel::Layer& L = model_.layer(i);
+    LayerScratch& lw = s.layers[i];
+
+    // --- candidate selection from the frozen tables ----------------------
+    std::size_t count;
+    if (use_tables && L.uses_hashing()) {
+      if (i == 0) {
+        L.family->hash_sparse(x.indices, x.values, x.nnz, lw.buckets.data());
+      } else {
+        const LayerScratch& pw = s.layers[i - 1];
+        if (pw.active.empty()) {
+          L.family->hash_dense(pw.act.data(), lw.buckets.data());
+        } else {
+          L.family->hash_sparse(pw.active.data(), pw.act.data(), pw.active.size(),
+                                lw.buckets.data());
+        }
+      }
+      const lsh::SamplerLimits limits{L.cfg.lsh.min_active, L.cfg.lsh.max_active};
+      lsh::select_active_set(*L.tables, lw.buckets.data(), {}, L.dim, limits, lw.sampler,
+                             lw.active);
+      count = lw.active.size();
+      if (count == 0) return false;
+    } else {
+      lw.active.clear();
+      count = L.dim;
+    }
+    lw.act.resize(count);
+
+    // --- pre-activations --------------------------------------------------
+    if (i == 0) {
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::uint32_t n =
+            lw.active.empty() ? static_cast<std::uint32_t>(k) : lw.active[k];
+        lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(x.indices, x.values, x.nnz,
+                                                       L.row_bf16(n))
+                            : kernels::sparse_dot_f32(x.indices, x.values, x.nnz,
+                                                      L.row_f32(n))) +
+                    L.bias[n];
+      }
+    } else {
+      const LayerScratch& pw = s.layers[i - 1];
+      if (!pw.active.empty()) {
+        // Compact (sampled) previous layer: per-neuron gathered dots.
+        for (std::size_t k = 0; k < count; ++k) {
+          const std::uint32_t n =
+              lw.active.empty() ? static_cast<std::uint32_t>(k) : lw.active[k];
+          lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(pw.active.data(), pw.act.data(),
+                                                         pw.active.size(), L.row_bf16(n))
+                              : kernels::sparse_dot_f32(pw.active.data(), pw.act.data(),
+                                                        pw.active.size(), L.row_f32(n))) +
+                      L.bias[n];
+        }
+      } else {
+        // Dense previous layer: blocked dots over the (candidate) rows.
+        const std::uint32_t* rows = lw.active.empty() ? nullptr : lw.active.data();
+        if (bf16_w) {
+          kernels::dot_rows_wbf16_xbf16(L.w16.data(), L.input_dim, rows, count,
+                                        pw.act16.data(), L.input_dim, lw.act.data());
+        } else if (bf16_act) {
+          kernels::dot_rows_wf32_xbf16(L.w.data(), L.input_dim, rows, count,
+                                       pw.act16.data(), L.input_dim, lw.act.data());
+        } else {
+          kernels::dot_rows_f32(L.w.data(), L.input_dim, rows, count, pw.act.data(),
+                                L.input_dim, lw.act.data());
+        }
+        if (rows != nullptr) {
+          for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[rows[k]];
+        } else {
+          for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[k];
+        }
+      }
+    }
+
+    const bool output_layer = i == last;
+    if (!output_layer && L.activation() == Activation::ReLU) {
+      kernels::relu_f32(lw.act.data(), count);
+    }  // Linear hidden layers pass through; output logits stay raw.
+    if (bf16_act && !output_layer) {
+      lw.act16.resize(count);
+      kernels::fp32_to_bf16(lw.act.data(), lw.act16.data(), count);
+    }
+  }
+  return true;
+}
+
+void InferenceEngine::forward(data::SparseVectorView x, TopKMode mode, Scratch& s) {
+  if (mode == TopKMode::Sampled && forward_pass(x, /*use_tables=*/true, s)) return;
+  forward_pass(x, /*use_tables=*/false, s);
+}
+
+void InferenceEngine::emit_topk(Scratch& s, std::size_t k, std::vector<std::uint32_t>& ids,
+                                std::vector<float>* scores) {
+  const LayerScratch& out = s.layers.back();
+  if (out.active.empty()) {
+    topk_indices(out.act.data(), out.act.size(), k, ids);
+  } else {
+    // Compact logits: rank, then map back to real neuron ids.
+    topk_indices(out.act.data(), out.act.size(), k, s.topk);
+    ids.resize(s.topk.size());
+    for (std::size_t j = 0; j < s.topk.size(); ++j) ids[j] = out.active[s.topk[j]];
+    if (scores != nullptr) {
+      scores->resize(s.topk.size());
+      for (std::size_t j = 0; j < s.topk.size(); ++j) (*scores)[j] = out.act[s.topk[j]];
+    }
+    return;
+  }
+  if (scores != nullptr) {
+    scores->resize(ids.size());
+    for (std::size_t j = 0; j < ids.size(); ++j) (*scores)[j] = out.act[ids[j]];
+  }
+}
+
+void InferenceEngine::predict_topk(data::SparseVectorView x, std::size_t k,
+                                   std::vector<std::uint32_t>& ids, TopKMode mode,
+                                   std::vector<float>* scores) {
+  Lease lease(*this);
+  forward(x, mode, *lease);
+  emit_topk(*lease, k, ids, scores);
+}
+
+std::uint32_t InferenceEngine::predict_top1(data::SparseVectorView x, TopKMode mode) {
+  Lease lease(*this);
+  Scratch& s = *lease;
+  forward(x, mode, s);
+  const LayerScratch& out = s.layers.back();
+  const std::size_t best = kernels::argmax_f32(out.act.data(), out.act.size());
+  return out.active.empty() ? static_cast<std::uint32_t>(best) : out.active[best];
+}
+
+void InferenceEngine::predict_topk_batch(std::span<const data::SparseVectorView> xs,
+                                         std::size_t k, std::uint32_t* out_ids,
+                                         float* out_scores, TopKMode mode,
+                                         ThreadPool* pool) {
+  if (xs.empty() || k == 0) return;
+  if (pool == nullptr) pool = &global_pool();
+
+  const auto serve_range = [&](std::size_t lo, std::size_t hi) {
+    Lease lease(*this);
+    Scratch& s = *lease;
+    std::vector<std::uint32_t> ids;
+    std::vector<float> scores;
+    for (std::size_t q = lo; q < hi; ++q) {
+      forward(xs[q], mode, s);
+      emit_topk(s, k, ids, out_scores != nullptr ? &scores : nullptr);
+      std::uint32_t* row = out_ids + q * k;
+      std::copy(ids.begin(), ids.end(), row);
+      std::fill(row + ids.size(), row + k, kInvalidId);
+      if (out_scores != nullptr) {
+        float* srow = out_scores + q * k;
+        std::copy(scores.begin(), scores.end(), srow);
+        std::fill(srow + scores.size(), srow + k, 0.0f);
+      }
+    }
+  };
+
+  // Small batches aren't worth a pool wake-up.
+  if (xs.size() < 4) {
+    serve_range(0, xs.size());
+    return;
+  }
+  pool->parallel_for_dynamic(xs.size(), 8,
+                             [&](unsigned, std::size_t lo, std::size_t hi) {
+    serve_range(lo, hi);
+  });
+}
+
+}  // namespace slide::infer

@@ -1,0 +1,196 @@
+#include "infer/packed_model.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/serialize_io.h"
+#include "kernels/kernels.h"
+#include "lsh/dwta.h"
+#include "lsh/simhash.h"
+#include "threading/thread_pool.h"
+#include "util/rng.h"
+
+namespace slide::infer {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534C4450u;  // "SLDP"
+
+// Same stream constants as Layer's constructor: a frozen layer re-derives
+// the identical hash family and table RNG from the layer seed.
+std::unique_ptr<lsh::HashFamily> make_family(const PackedModel::Layer& L) {
+  if (L.cfg.lsh.kind == HashKind::Dwta) {
+    return std::make_unique<lsh::DwtaHash>(L.input_dim, L.cfg.lsh.k, L.cfg.lsh.l,
+                                           mix64(L.seed, 0xD37Aull, L.dim));
+  }
+  return std::make_unique<lsh::SimHash>(L.input_dim, L.cfg.lsh.k, L.cfg.lsh.l,
+                                        mix64(L.seed, 0x51Bull, L.dim));
+}
+
+}  // namespace
+
+PackedModel PackedModel::freeze(const Network& net) {
+  return freeze(net, net.precision());
+}
+
+PackedModel PackedModel::freeze(const Network& net, Precision precision) {
+  PackedModel pm;
+  pm.input_dim_ = net.input_dim();
+  pm.precision_ = precision;
+  pm.layers_.reserve(net.num_layers());
+
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const slide::Layer& src = net.layer(i);
+    Layer L;
+    L.input_dim = src.input_dim();
+    L.dim = src.dim();
+    L.seed = src.seed();
+    L.cfg = src.config();
+    L.bias.assign(src.biases().begin(), src.biases().end());
+
+    const std::size_t total = L.dim * L.input_dim;
+    const bool src_bf16 = src.precision() == Precision::Bf16All;
+    const bool dst_bf16 = precision == Precision::Bf16All;
+    if (dst_bf16 == src_bf16) {
+      // Same storage format: bit-exact copy of the trained arena.
+      if (dst_bf16) {
+        L.w16.assign(src.weights_bf16().begin(), src.weights_bf16().end());
+      } else {
+        L.w.assign(src.weights_f32().begin(), src.weights_f32().end());
+      }
+    } else if (dst_bf16) {
+      L.w16.resize(total);
+      kernels::fp32_to_bf16(src.weights_f32().data(), L.w16.data(), total);
+    } else {
+      L.w.resize(total);
+      kernels::bf16_to_fp32(src.weights_bf16().data(), L.w.data(), total);
+    }
+    pm.layers_.push_back(std::move(L));
+  }
+  pm.rebuild_lsh();
+  return pm;
+}
+
+void PackedModel::rebuild_lsh() {
+  ThreadPool& pool = global_pool();
+  for (Layer& L : layers_) {
+    if (L.cfg.lsh.kind == HashKind::None) continue;
+    L.family = make_family(L);
+    lsh::LshTablesConfig tcfg;
+    tcfg.bucket_capacity = L.cfg.lsh.bucket_capacity;
+    tcfg.policy = L.cfg.lsh.bucket_policy;
+    tcfg.seed = mix64(L.seed, 0x7AB1E5ull, L.dim);
+    L.tables = std::make_unique<lsh::LshTables>(L.family->num_tables(),
+                                                L.family->bucket_range(), tcfg);
+
+    const std::size_t num_tables = L.family->num_tables();
+    std::vector<std::uint32_t> buckets(L.dim * num_tables);
+    const bool bf16_w = precision_ == Precision::Bf16All;
+    const auto hash_range = [&](std::size_t begin, std::size_t end) {
+      thread_local std::vector<float> widened;
+      for (std::size_t n = begin; n < end; ++n) {
+        if (bf16_w) {
+          widened.resize(L.input_dim);
+          kernels::bf16_to_fp32(L.row_bf16(static_cast<std::uint32_t>(n)), widened.data(),
+                                L.input_dim);
+          L.family->hash_dense(widened.data(), buckets.data() + n * num_tables);
+        } else {
+          L.family->hash_dense(L.row_f32(static_cast<std::uint32_t>(n)),
+                               buckets.data() + n * num_tables);
+        }
+      }
+    };
+    if (L.dim >= 128) {
+      pool.parallel_for_dynamic(L.dim, 32, [&](unsigned, std::size_t b, std::size_t e) {
+        hash_range(b, e);
+      });
+    } else {
+      hash_range(0, L.dim);
+    }
+    L.tables->bulk_load(buckets.data(), L.dim, &pool);
+  }
+}
+
+std::size_t PackedModel::num_params() const {
+  std::size_t total = 0;
+  for (const Layer& L : layers_) total += L.dim * L.input_dim + L.dim;
+  return total;
+}
+
+std::size_t PackedModel::arena_bytes() const {
+  std::size_t total = 0;
+  for (const Layer& L : layers_) total += L.arena_bytes();
+  return total;
+}
+
+void PackedModel::save(std::ostream& out) const {
+  io::write_pod(out, kMagic);
+  io::write_pod(out, kPackedModelVersion);
+  io::write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(precision_));
+  io::write_pod<std::uint64_t>(out, input_dim_);
+  io::write_pod<std::uint64_t>(out, layers_.size());
+  for (const Layer& L : layers_) {
+    io::write_layer_config(out, L.cfg);
+    io::write_pod<std::uint64_t>(out, L.seed);
+    io::write_array(out, L.bias.data(), L.bias.size());
+    if (precision_ == Precision::Bf16All) {
+      io::write_array(out, L.w16.data(), L.w16.size());
+    } else {
+      io::write_array(out, L.w.data(), L.w.size());
+    }
+  }
+  if (!out) throw std::runtime_error("packed model: write failed");
+}
+
+PackedModel PackedModel::load(std::istream& in) {
+  if (io::read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("packed model: bad magic");
+  }
+  if (io::read_pod<std::uint32_t>(in) != kPackedModelVersion) {
+    throw std::runtime_error("packed model: unsupported version");
+  }
+  PackedModel pm;
+  pm.precision_ = static_cast<Precision>(io::read_pod<std::uint8_t>(in));
+  pm.input_dim_ = io::read_pod<std::uint64_t>(in);
+  const std::uint64_t num_layers = io::read_pod<std::uint64_t>(in);
+  if (pm.input_dim_ == 0 || num_layers == 0) {
+    throw std::runtime_error("packed model: empty model");
+  }
+
+  std::size_t prev = pm.input_dim_;
+  for (std::uint64_t i = 0; i < num_layers; ++i) {
+    Layer L;
+    L.cfg = io::read_layer_config(in);
+    L.seed = io::read_pod<std::uint64_t>(in);
+    L.input_dim = prev;
+    L.dim = L.cfg.dim;
+    if (L.dim == 0) throw std::runtime_error("packed model: zero-width layer");
+    prev = L.dim;
+    L.bias.resize(L.dim);
+    io::read_array(in, L.bias.data(), L.dim);
+    const std::size_t total = L.dim * L.input_dim;
+    if (pm.precision_ == Precision::Bf16All) {
+      L.w16.resize(total);
+      io::read_array(in, L.w16.data(), total);
+    } else {
+      L.w.resize(total);
+      io::read_array(in, L.w.data(), total);
+    }
+    pm.layers_.push_back(std::move(L));
+  }
+  pm.rebuild_lsh();
+  return pm;
+}
+
+void PackedModel::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("packed model: cannot open for writing: " + path);
+  save(out);
+}
+
+PackedModel PackedModel::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("packed model: cannot open: " + path);
+  return load(in);
+}
+
+}  // namespace slide::infer

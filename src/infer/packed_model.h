@@ -1,0 +1,101 @@
+// Immutable serving snapshot of a trained Network.
+//
+// Training state (gradient arenas, ADAM moments, dirty flags, rebuild
+// schedules) roughly doubles a model's RSS and is dead weight at serving
+// time.  PackedModel keeps only what inference needs: one aligned row-major
+// weight arena per layer (fp32 or bf16), the biases, and — for LSH-sampled
+// layers — a frozen hash family plus tables built once from the final
+// weights.  Nothing in a PackedModel mutates after construction, so any
+// number of InferenceEngine threads can read it without synchronization.
+//
+// freeze() may also change precision: a model trained in fp32 can be packed
+// to bf16 weights (paper Section 4.4), halving the serving arena again at a
+// small accuracy cost.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/network.h"
+#include "lsh/hash_function.h"
+#include "lsh/lsh_table.h"
+#include "util/aligned.h"
+#include "util/bf16.h"
+
+namespace slide::infer {
+
+// Format version written by PackedModel::save; load rejects others.
+inline constexpr std::uint32_t kPackedModelVersion = 1;
+
+class PackedModel {
+ public:
+  struct Layer {
+    std::size_t input_dim = 0;
+    std::size_t dim = 0;
+    std::uint64_t seed = 0;  // Layer's construction seed (LSH streams derive from it)
+    LayerConfig cfg;
+
+    AlignedVector<float> w;    // dim x input_dim row-major (empty when bf16 weights)
+    AlignedVector<bf16> w16;   // dim x input_dim row-major (empty when fp32 weights)
+    AlignedVector<float> bias;
+
+    std::unique_ptr<lsh::HashFamily> family;  // null for dense layers
+    std::unique_ptr<lsh::LshTables> tables;
+
+    bool uses_hashing() const { return family != nullptr; }
+    Activation activation() const { return cfg.activation; }
+    const float* row_f32(std::uint32_t n) const {
+      return w.data() + std::size_t{n} * input_dim;
+    }
+    const bf16* row_bf16(std::uint32_t n) const {
+      return w16.data() + std::size_t{n} * input_dim;
+    }
+    // Bytes held by the weight/bias arenas (the serving working set).
+    std::size_t arena_bytes() const {
+      return w.size() * sizeof(float) + w16.size() * sizeof(bf16) +
+             bias.size() * sizeof(float);
+    }
+  };
+
+  // Snapshots `net` at its precision, or converts to `precision`:
+  //   Fp32            fp32 weights, fp32 activations
+  //   Bf16Activations fp32 weights, bf16 activations
+  //   Bf16All         bf16 weights, bf16 activations
+  // Hash tables are rebuilt deterministically from the packed weights using
+  // the layers' original LSH streams, so freezing an fp32 net at fp32 yields
+  // exactly the tables a Network::rebuild_hash_tables() would.
+  static PackedModel freeze(const Network& net);
+  static PackedModel freeze(const Network& net, Precision precision);
+
+  Precision precision() const { return precision_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return layers_[i]; }
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return layers_.back().dim; }
+  std::size_t num_params() const;
+  // Total weight/bias arena bytes (excludes the LSH tables).
+  std::size_t arena_bytes() const;
+
+  // Binary round-trip ("SLDP" format).  Hash tables are not stored — they
+  // are a pure function of the packed weights and are rebuilt on load.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  // Throws std::runtime_error on malformed or truncated input.
+  static PackedModel load(std::istream& in);
+  static PackedModel load_file(const std::string& path);
+
+ private:
+  PackedModel() = default;
+  // Builds family+tables for every hashed layer from the packed weights.
+  void rebuild_lsh();
+
+  std::size_t input_dim_ = 0;
+  Precision precision_ = Precision::Fp32;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace slide::infer

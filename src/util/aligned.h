@@ -54,6 +54,14 @@ class AlignedAllocator {
 template <typename T>
 using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
+// One value padded to a full cache line.  Per-thread accumulator slots
+// (e.g. the trainer's per-rank loss/hit partials) use this so neighbouring
+// ranks never write the same line (false sharing).
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+};
+
 // True when `p` may be used with aligned SIMD loads.
 inline bool is_aligned(const void* p, std::size_t alignment = kCacheLineBytes) {
   return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/network.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "infer/engine.h"
+#include "infer/packed_model.h"
+
+namespace slide {
+namespace {
+
+NetworkConfig sample_config(Precision precision = Precision::Fp32) {
+  LshLayerConfig lsh;
+  lsh.kind = HashKind::Dwta;
+  lsh.k = 3;
+  lsh.l = 8;
+  lsh.min_active = 24;
+  return make_slide_mlp(60, 16, 80, lsh, precision, 1234);
+}
+
+// A briefly trained network so the packed snapshot is not just the init.
+Network trained_network(Precision precision = Precision::Fp32) {
+  data::SyntheticConfig dcfg;
+  dcfg.feature_dim = 60;
+  dcfg.label_dim = 80;
+  dcfg.num_train = 400;
+  dcfg.num_test = 50;
+  dcfg.avg_nnz = 10;
+  dcfg.num_clusters = 8;
+  dcfg.seed = 99;
+  auto [train, test] = data::make_xc_datasets(dcfg);
+  Network net(sample_config(precision));
+  TrainerConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 64;
+  Trainer trainer(net, tcfg);
+  trainer.train_one_epoch(train);
+  net.rebuild_hash_tables(nullptr);
+  return net;
+}
+
+data::Dataset query_set(std::size_t n = 64) {
+  data::SyntheticConfig dcfg;
+  dcfg.feature_dim = 60;
+  dcfg.label_dim = 80;
+  dcfg.num_train = n;
+  dcfg.num_test = 1;
+  dcfg.avg_nnz = 10;
+  dcfg.num_clusters = 8;
+  dcfg.seed = 7;
+  return data::make_xc_datasets(dcfg).first;
+}
+
+TEST(PackedModel, FreezeKeepsWeightsBitExact) {
+  const Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  ASSERT_EQ(pm.num_layers(), net.num_layers());
+  EXPECT_EQ(pm.precision(), Precision::Fp32);
+  EXPECT_EQ(pm.num_params(), net.num_params());
+  for (std::size_t i = 0; i < pm.num_layers(); ++i) {
+    const auto& L = pm.layer(i);
+    const auto src = net.layer(i).weights_f32();
+    ASSERT_EQ(L.w.size(), src.size());
+    EXPECT_EQ(0, std::memcmp(L.w.data(), src.data(), src.size() * sizeof(float)));
+    const auto bias = net.layer(i).biases();
+    EXPECT_EQ(0, std::memcmp(L.bias.data(), bias.data(), bias.size() * sizeof(float)));
+  }
+  // Output layer froze its LSH state; hidden layer is dense.
+  EXPECT_FALSE(pm.layer(0).uses_hashing());
+  EXPECT_TRUE(pm.layer(1).uses_hashing());
+}
+
+TEST(PackedModel, DenseTopKBitIdenticalToNetwork) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set();
+  Workspace ws = net.make_workspace();
+  std::vector<std::uint32_t> want, got;
+  std::vector<float> scores;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    net.predict_topk(queries.features(i), 10, ws, want);
+    engine.predict_topk(queries.features(i), 10, got, infer::TopKMode::Dense, &scores);
+    ASSERT_EQ(want, got) << "query " << i;
+    // Same kernels in the same order: logits must match bit for bit.
+    const auto& logits = ws.layers.back().act;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(scores[j], logits[got[j]]) << "query " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(PackedModel, DenseParityAcrossPrecisions) {
+  for (const Precision p : {Precision::Bf16Activations, Precision::Bf16All}) {
+    Network net = trained_network(p);
+    const infer::PackedModel pm = infer::PackedModel::freeze(net);
+    infer::InferenceEngine engine(pm);
+    const data::Dataset queries = query_set(16);
+    Workspace ws = net.make_workspace();
+    std::vector<std::uint32_t> want, got;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      net.predict_topk(queries.features(i), 5, ws, want);
+      engine.predict_topk(queries.features(i), 5, got);
+      ASSERT_EQ(want, got) << "precision " << static_cast<int>(p) << " query " << i;
+    }
+  }
+}
+
+TEST(PackedModel, FreezeToBf16HalvesWeightArena) {
+  const Network net = trained_network();
+  const infer::PackedModel fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
+  const infer::PackedModel bf16 = infer::PackedModel::freeze(net, Precision::Bf16All);
+  EXPECT_EQ(bf16.precision(), Precision::Bf16All);
+  EXPECT_LT(bf16.arena_bytes(), fp32.arena_bytes());
+  // Weight rows quantized with the library's round-to-nearest-even.
+  const auto src = net.layer(0).weights_f32();
+  ASSERT_EQ(bf16.layer(0).w16.size(), src.size());
+  EXPECT_EQ(bf16.layer(0).w16[0].bits, bf16::from_float(src[0]).bits);
+  // The converted model still serves.
+  infer::InferenceEngine engine(bf16);
+  const data::Dataset queries = query_set(8);
+  std::vector<std::uint32_t> ids;
+  engine.predict_topk(queries.features(0), 5, ids);
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(PackedModel, RoundTripsAllPrecisions) {
+  for (const Precision p :
+       {Precision::Fp32, Precision::Bf16Activations, Precision::Bf16All}) {
+    Network net = trained_network(p);
+    const infer::PackedModel pm = infer::PackedModel::freeze(net);
+    std::stringstream buffer;
+    pm.save(buffer);
+    const infer::PackedModel back = infer::PackedModel::load(buffer);
+    ASSERT_EQ(back.num_layers(), pm.num_layers());
+    EXPECT_EQ(back.precision(), pm.precision());
+    for (std::size_t i = 0; i < pm.num_layers(); ++i) {
+      const auto& a = pm.layer(i);
+      const auto& b = back.layer(i);
+      ASSERT_EQ(a.w.size(), b.w.size());
+      ASSERT_EQ(a.w16.size(), b.w16.size());
+      if (!a.w.empty()) {
+        EXPECT_EQ(0, std::memcmp(a.w.data(), b.w.data(), a.w.size() * sizeof(float)));
+      }
+      if (!a.w16.empty()) {
+        EXPECT_EQ(0, std::memcmp(a.w16.data(), b.w16.data(), a.w16.size() * sizeof(bf16)));
+      }
+      EXPECT_EQ(0, std::memcmp(a.bias.data(), b.bias.data(),
+                               a.bias.size() * sizeof(float)));
+      EXPECT_EQ(a.seed, b.seed);
+    }
+  }
+}
+
+TEST(PackedModel, RoundTripPreservesFrozenLshState) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  std::stringstream buffer;
+  pm.save(buffer);
+  const infer::PackedModel back = infer::PackedModel::load(buffer);
+
+  // Identical frozen tables + identical sampler streams => identical
+  // sampled predictions (candidate sets and random top-ups both match).
+  infer::InferenceEngine ea(pm, 555);
+  infer::InferenceEngine eb(back, 555);
+  const data::Dataset queries = query_set(32);
+  std::vector<std::uint32_t> a, b;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ea.predict_topk(queries.features(i), 5, a, infer::TopKMode::Sampled);
+    eb.predict_topk(queries.features(i), 5, b, infer::TopKMode::Sampled);
+    ASSERT_EQ(a, b) << "query " << i;
+  }
+}
+
+TEST(PackedModel, SampledModeReturnsCandidatesFromTables) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(16);
+  std::vector<std::uint32_t> ids;
+  std::vector<float> scores;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    engine.predict_topk(queries.features(i), 5, ids, infer::TopKMode::Sampled, &scores);
+    ASSERT_FALSE(ids.empty());
+    ASSERT_EQ(ids.size(), scores.size());
+    for (const std::uint32_t id : ids) ASSERT_LT(id, pm.output_dim());
+    for (std::size_t j = 1; j < scores.size(); ++j) ASSERT_GE(scores[j - 1], scores[j]);
+  }
+}
+
+TEST(PackedModel, SampledSurvivesEmptyCandidateSets) {
+  // Hashing on BOTH layers with min_active = 0 and deliberately sparse
+  // tables (k large, l tiny, few neurons) makes empty candidate sets
+  // routine at either depth; every such query must fall back to the exact
+  // pass instead of reading an empty activation buffer.
+  NetworkConfig cfg;
+  cfg.input_dim = 60;
+  LayerConfig hidden;
+  hidden.dim = 12;
+  hidden.activation = Activation::ReLU;
+  hidden.lsh.kind = HashKind::Dwta;
+  hidden.lsh.k = 6;
+  hidden.lsh.l = 2;
+  hidden.lsh.min_active = 0;
+  LayerConfig output;
+  output.dim = 80;
+  output.activation = Activation::Softmax;
+  output.lsh = hidden.lsh;
+  cfg.layers = {hidden, output};
+  Network net(cfg);
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+
+  const data::Dataset queries = query_set(64);
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    engine.predict_topk(queries.features(i), 5, ids, infer::TopKMode::Sampled);
+    ASSERT_FALSE(ids.empty()) << "query " << i;
+    for (const std::uint32_t id : ids) ASSERT_LT(id, pm.output_dim());
+  }
+}
+
+TEST(PackedModel, BatchedMatchesPerExample) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(40);
+  std::vector<data::SparseVectorView> views;
+  for (std::size_t i = 0; i < queries.size(); ++i) views.push_back(queries.features(i));
+
+  constexpr std::size_t k = 7;
+  std::vector<std::uint32_t> batch_ids(queries.size() * k);
+  std::vector<float> batch_scores(queries.size() * k);
+  engine.predict_topk_batch(views, k, batch_ids.data(), batch_scores.data());
+
+  std::vector<std::uint32_t> one;
+  std::vector<float> one_scores;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    engine.predict_topk(views[i], k, one, infer::TopKMode::Dense, &one_scores);
+    for (std::size_t j = 0; j < one.size(); ++j) {
+      ASSERT_EQ(batch_ids[i * k + j], one[j]) << "query " << i;
+      ASSERT_EQ(batch_scores[i * k + j], one_scores[j]) << "query " << i;
+    }
+  }
+}
+
+TEST(PackedModel, ConcurrentQueriesMatchNetworkExactly) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(48);
+
+  // Ground truth from the training network, single-threaded.
+  std::vector<std::vector<std::uint32_t>> want(queries.size());
+  Workspace ws = net.make_workspace();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    net.predict_topk(queries.features(i), 5, ws, want[i]);
+  }
+
+  constexpr unsigned kThreads = 8;
+  std::vector<int> ok(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint32_t> got;
+      bool all = true;
+      // Each thread walks the whole query set from a different offset so
+      // leases constantly interleave.
+      for (std::size_t step = 0; step < queries.size(); ++step) {
+        const std::size_t i = (step * (t + 1) + t) % queries.size();
+        engine.predict_topk(queries.features(i), 5, got);
+        all = all && got == want[i];
+      }
+      ok[t] = all;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << "thread " << t;
+}
+
+TEST(PackedModel, LoadRejectsGarbageAndWrongVersion) {
+  std::stringstream garbage("not a packed model at all");
+  EXPECT_THROW(infer::PackedModel::load(garbage), std::runtime_error);
+
+  const Network net = trained_network();
+  std::stringstream buffer;
+  infer::PackedModel::freeze(net).save(buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 77;  // version field follows the 4-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW(infer::PackedModel::load(bad), std::runtime_error);
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 3));
+  EXPECT_THROW(infer::PackedModel::load(truncated), std::runtime_error);
+}
+
+TEST(PackedModel, FileRoundTrip) {
+  const Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  const std::string path = ::testing::TempDir() + "/slide_packed.pk";
+  pm.save_file(path);
+  const infer::PackedModel back = infer::PackedModel::load_file(path);
+  EXPECT_EQ(back.num_params(), pm.num_params());
+  EXPECT_THROW(infer::PackedModel::load_file("/nonexistent/model.pk"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace slide

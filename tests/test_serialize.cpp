@@ -67,6 +67,56 @@ TEST(Serialize, RoundTripPreservesPredictions) {
   EXPECT_EQ(net.predict_top1(sample_input(), wa), back.predict_top1(sample_input(), wb));
 }
 
+TEST(Serialize, Bf16ActivationsNetworkRoundTrips) {
+  // Bf16Activations keeps fp32 weights (only activations are narrowed), so
+  // the round trip must preserve the fp32 arena bit-exactly and reproduce
+  // the same predictions.
+  Network net(sample_config(Precision::Bf16Activations));
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network back = load_network(buffer);
+  EXPECT_EQ(back.precision(), Precision::Bf16Activations);
+  for (std::size_t li = 0; li < 2; ++li) {
+    const auto a = net.layer(li).weights_f32();
+    const auto b = back.layer(li).weights_f32();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << li << ":" << i;
+  }
+  Workspace wa = net.make_workspace();
+  Workspace wb = back.make_workspace();
+  EXPECT_EQ(net.predict_top1(sample_input(), wa), back.predict_top1(sample_input(), wb));
+}
+
+TEST(Serialize, RoundTripRebuildsIdenticalHashedLayerState) {
+  // Tables are not stored; the loader rebuilds them from the restored
+  // weights.  With identical weights and identical per-layer RNG streams the
+  // rebuilt tables — and therefore LSH-sampled inference with a same-seeded
+  // workspace — must match the source network exactly.
+  Network net(sample_config());
+  net.rebuild_hash_tables(nullptr);
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network back = load_network(buffer);
+
+  const Layer& a = net.layer(1);
+  const Layer& b = back.layer(1);
+  ASSERT_TRUE(a.uses_hashing());
+  ASSERT_TRUE(b.uses_hashing());
+  for (std::size_t t = 0; t < a.tables()->num_tables(); ++t) {
+    for (std::uint32_t bucket = 0; bucket < a.tables()->bucket_range(); ++bucket) {
+      const auto ba = a.tables()->bucket(t, bucket);
+      const auto bb = b.tables()->bucket(t, bucket);
+      ASSERT_EQ(std::vector<std::uint32_t>(ba.begin(), ba.end()),
+                std::vector<std::uint32_t>(bb.begin(), bb.end()))
+          << "table " << t << " bucket " << bucket;
+    }
+  }
+  Workspace wa = net.make_workspace(42);
+  Workspace wb = back.make_workspace(42);
+  EXPECT_EQ(net.predict_top1_sampled(sample_input(), wa),
+            back.predict_top1_sampled(sample_input(), wb));
+}
+
 TEST(Serialize, Bf16NetworkRoundTrips) {
   Network net(sample_config(Precision::Bf16All));
   std::stringstream buffer;

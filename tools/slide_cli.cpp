@@ -1,26 +1,36 @@
 // slide_cli — command-line front end for the library.
 //
-//   slide_cli gen   --dataset amazon|wiki|text8 --scale 0.01 --out prefix
-//   slide_cli train --train f.txt --test f.txt [training flags] [--save m.bin]
-//   slide_cli eval  --model m.bin --test f.txt [--topk 5]
-//   slide_cli info  --model m.bin
+//   slide_cli gen     --dataset amazon|wiki|text8 --scale 0.01 --out prefix
+//   slide_cli train   --train f.txt --test f.txt [training flags] [--save m.bin]
+//   slide_cli eval    --model m.bin --test f.txt [--topk 5]
+//   slide_cli info    --model m.bin
+//   slide_cli freeze  --model m.bin --out m.pk [--precision keep|fp32|bf16act|bf16all]
+//   slide_cli predict --model m.pk --test f.txt [--topk 5] [--mode dense|sampled]
 //
 // `gen` materializes a synthetic paper-statistics dataset in XC format (the
 // same format the real Amazon-670K / WikiLSHTC-325K downloads use, so real
-// files work everywhere a generated one does).
+// files work everywhere a generated one does).  `freeze` packs a training
+// checkpoint into an immutable serving snapshot; `predict` serves a test
+// file from one and reports P@k plus QPS.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baseline/dense_network.h"
 #include "cli/args.h"
+#include "core/metrics.h"
 #include "core/network.h"
 #include "core/serialize.h"
 #include "core/trainer.h"
 #include "data/svm_reader.h"
 #include "data/synthetic.h"
 #include "data/text_corpus.h"
+#include "infer/engine.h"
+#include "infer/packed_model.h"
 #include "kernels/kernels.h"
 #include "threading/thread_pool.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -238,12 +248,120 @@ int cmd_info(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_freeze(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli freeze: pack a checkpoint into a serving snapshot");
+  args.add_required_string("model", "checkpoint from `slide_cli train --save`");
+  args.add_required_string("out", "output packed-model file");
+  args.add_string("precision", "keep", "serving precision: keep | fp32 | bf16act | bf16all");
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+
+  const Network net = load_network_file(args.get_string("model"));
+  Precision precision = net.precision();
+  const std::string p = args.get_string("precision");
+  if (p == "fp32") {
+    precision = Precision::Fp32;
+  } else if (p == "bf16act") {
+    precision = Precision::Bf16Activations;
+  } else if (p == "bf16all") {
+    precision = Precision::Bf16All;
+  } else if (p != "keep") {
+    std::fprintf(stderr, "error: --precision must be keep|fp32|bf16act|bf16all\n");
+    return 1;
+  }
+
+  const infer::PackedModel packed = infer::PackedModel::freeze(net, precision);
+  packed.save_file(args.get_string("out"));
+  std::printf("packed %zu parameters (%.1f MiB serving arena) to %s\n", packed.num_params(),
+              static_cast<double>(packed.arena_bytes()) / (1024.0 * 1024.0),
+              args.get_string("out").c_str());
+  return 0;
+}
+
+int cmd_predict(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli predict: serve a test file from a packed model");
+  args.add_required_string("model", "packed model from `slide_cli freeze`");
+  args.add_required_string("test", "test file (XC format)");
+  args.add_int("topk", 5, "report P@1..P@k");
+  args.add_string("mode", "dense", "dense (exact) | sampled (LSH candidates)");
+  args.add_int("batch", 256, "queries per engine batch (0 = one query at a time)");
+  args.add_int("max-examples", 0, "serving cap (0 = all)");
+  args.add_int("threads", 0, "worker threads");
+  cli::add_isa_flag(args);
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  if (!apply_common_system_flags(args)) return 1;
+
+  const std::string mode_name = args.get_string("mode");
+  if (mode_name != "dense" && mode_name != "sampled") {
+    std::fprintf(stderr, "error: --mode must be dense|sampled\n");
+    return 1;
+  }
+  const infer::TopKMode mode =
+      mode_name == "sampled" ? infer::TopKMode::Sampled : infer::TopKMode::Dense;
+
+  const infer::PackedModel packed = infer::PackedModel::load_file(args.get_string("model"));
+  infer::InferenceEngine engine(packed);
+  const data::Dataset test = data::read_xc_file(args.get_string("test"));
+  std::size_t n = test.size();
+  if (args.get_int("max-examples") > 0) {
+    n = std::min(n, static_cast<std::size_t>(args.get_int("max-examples")));
+  }
+  const std::size_t k = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("topk")));
+  std::printf("model: %zu params, precision=%s, mode=%s, backend=%s, %zu queries\n",
+              packed.num_params(),
+              packed.precision() == Precision::Fp32        ? "fp32"
+              : packed.precision() == Precision::Bf16All   ? "bf16all"
+                                                           : "bf16act",
+              mode_name.c_str(), kernels::active_isa_name(), n);
+
+  std::vector<std::uint32_t> ids(n * k, infer::InferenceEngine::kInvalidId);
+  const std::size_t batch = static_cast<std::size_t>(args.get_int("batch"));
+  Timer timer;
+  if (batch == 0) {
+    std::vector<std::uint32_t> one;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.predict_topk(test.features(i), k, one, mode);
+      std::copy(one.begin(), one.end(), ids.begin() + i * k);
+    }
+  } else {
+    std::vector<data::SparseVectorView> views;
+    views.reserve(batch);
+    for (std::size_t begin = 0; begin < n; begin += batch) {
+      const std::size_t end = std::min(n, begin + batch);
+      views.clear();
+      for (std::size_t i = begin; i < end; ++i) views.push_back(test.features(i));
+      engine.predict_topk_batch(views, k, ids.data() + begin * k, nullptr, mode);
+    }
+  }
+  const double seconds = timer.seconds();
+
+  for (std::size_t kk = 1; kk <= k; ++kk) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // kInvalidId padding never matches a label, so the padded row gives
+      // the standard |topk ∩ labels| / k even for short candidate sets.
+      total += precision_at_k({ids.data() + i * k, kk}, test.labels(i));
+    }
+    std::printf("P@%zu = %.4f\n", kk, total / static_cast<double>(n));
+  }
+  std::printf("served %zu queries in %.3fs  (%.0f QPS)\n", n, seconds,
+              static_cast<double>(n) / seconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: slide_cli <gen|train|eval|info> [flags]\n"
+                 "usage: slide_cli <gen|train|eval|info|freeze|predict> [flags]\n"
                  "       slide_cli <command> --help\n");
     return 1;
   }
@@ -253,11 +371,14 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(argc, argv);
     if (command == "eval") return cmd_eval(argc, argv);
     if (command == "info") return cmd_info(argc, argv);
+    if (command == "freeze") return cmd_freeze(argc, argv);
+    if (command == "predict") return cmd_predict(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s' (expected gen|train|eval|info)\n",
+  std::fprintf(stderr,
+               "unknown command '%s' (expected gen|train|eval|info|freeze|predict)\n",
                command.c_str());
   return 1;
 }
