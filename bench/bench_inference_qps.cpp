@@ -3,8 +3,8 @@
 //   ./bench_inference_qps
 //
 // Trains one scaled Amazon-670K-like workload, freezes it at fp32 and bf16
-// weights, and reports queries-per-second over the grid the serving scenario
-// cares about:
+// weights, and reports queries-per-second plus p50/p95/p99 per-query latency
+// (util/histogram.h) over the grid the serving scenario cares about:
 //
 //     {batched, per-example} x {dense, sampled} x {fp32, bf16} x available ISAs
 //
@@ -23,6 +23,7 @@
 #include "core/metrics.h"
 #include "infer/engine.h"
 #include "infer/packed_model.h"
+#include "util/histogram.h"
 #include "util/timer.h"
 
 namespace {
@@ -32,6 +33,7 @@ using namespace slide;
 struct GridResult {
   double qps = 0.0;
   double p1 = 0.0;
+  util::HistogramSnapshot latency_us;
 };
 
 GridResult serve(infer::InferenceEngine& engine, const data::Dataset& test,
@@ -39,18 +41,28 @@ GridResult serve(infer::InferenceEngine& engine, const data::Dataset& test,
                  bool batched) {
   constexpr std::size_t kTopK = 5;
   std::vector<std::uint32_t> ids(queries.size() * kTopK);
+  util::ShardedHistogram hist;
   Timer timer;
   if (batched) {
-    engine.predict_topk_batch(queries, kTopK, ids.data(), nullptr, mode);
+    // Per-query time-to-result from batch submission, recorded by the
+    // engine's completion hook as each pool worker finishes a query.
+    engine.predict_topk_batch(queries, kTopK, ids.data(), nullptr, mode, nullptr,
+                              [&](std::size_t) {
+                                hist.record(static_cast<std::uint64_t>(
+                                    timer.seconds() * 1e6));
+                              });
   } else {
     std::vector<std::uint32_t> one;
     for (std::size_t i = 0; i < queries.size(); ++i) {
+      Timer per_query;
       engine.predict_topk(queries[i], kTopK, one, mode);
+      hist.record(static_cast<std::uint64_t>(per_query.seconds() * 1e6));
       std::copy(one.begin(), one.end(), ids.begin() + i * kTopK);
     }
   }
   GridResult r;
   r.qps = static_cast<double>(queries.size()) / timer.seconds();
+  r.latency_us = hist.snapshot();
   for (std::size_t i = 0; i < queries.size(); ++i) {
     r.p1 += precision_at_k({ids.data() + i * kTopK, 1}, test.labels(i));
   }
@@ -87,9 +99,9 @@ int main() {
   queries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) queries.push_back(w.test.features(i));
 
-  std::printf("%-8s %-6s %-12s %-8s %12s %8s\n", "isa", "prec", "submission", "mode",
-              "QPS", "P@1");
-  bench::print_rule(60);
+  std::printf("%-8s %-6s %-12s %-8s %12s %8s %8s %8s %8s\n", "isa", "prec",
+              "submission", "mode", "QPS", "P@1", "p50us", "p95us", "p99us");
+  bench::print_rule(88);
   const kernels::Isa saved = kernels::active_isa();
   for (const kernels::Isa isa : kernels::available_isas()) {
     kernels::set_isa(isa);
@@ -98,9 +110,13 @@ int main() {
       for (const bool batched : {true, false}) {
         for (const auto mode : {infer::TopKMode::Dense, infer::TopKMode::Sampled}) {
           const GridResult r = serve(engine, w.test, queries, mode, batched);
-          std::printf("%-8s %-6s %-12s %-8s %12.0f %8.4f\n", kernels::isa_name(isa),
-                      bf16 ? "bf16" : "fp32", batched ? "batched" : "per-example",
-                      mode == infer::TopKMode::Dense ? "dense" : "sampled", r.qps, r.p1);
+          std::printf("%-8s %-6s %-12s %-8s %12.0f %8.4f %8llu %8llu %8llu\n",
+                      kernels::isa_name(isa), bf16 ? "bf16" : "fp32",
+                      batched ? "batched" : "per-example",
+                      mode == infer::TopKMode::Dense ? "dense" : "sampled", r.qps, r.p1,
+                      static_cast<unsigned long long>(r.latency_us.p50()),
+                      static_cast<unsigned long long>(r.latency_us.p95()),
+                      static_cast<unsigned long long>(r.latency_us.p99()));
         }
       }
     }

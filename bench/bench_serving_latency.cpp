@@ -1,0 +1,256 @@
+// Closed-loop serving load generator: QPS and tail latency for the
+// micro-batching server.
+//
+//   ./bench_serving_latency                 # in-process sweep (default)
+//   SLIDE_SERVE_CONNECT=127.0.0.1:7070 \
+//   SLIDE_SERVE_QUERIES_FILE=q.test.txt \
+//   ./bench_serving_latency                 # TCP loadgen against slide_cli serve
+//
+// In-process mode trains one scaled Amazon-670K-like workload, freezes it
+// at fp32 and bf16, and sweeps the serving grid the paper's story leads to:
+//
+//   {1..N client threads} x {direct, batch=1, batched} x {dense, sampled}
+//                         x {fp32, bf16}
+//
+// Each client thread runs closed-loop: submit one query, block on its
+// future (or the engine call), record the latency, repeat.  `direct` calls
+// InferenceEngine::predict_topk with no server at all (the baseline);
+// `batch=1` routes through the BatchingServer with batching disabled
+// (max_batch_size=1, delay=0 — per-request dispatch, paying the queue);
+// `batched` enables the (max_batch_size, max_queue_delay_us) policy.  Every
+// row reports QPS plus p50/p95/p99 from util/histogram.h.
+//
+// TCP mode skips training: it reads queries from SLIDE_SERVE_QUERIES_FILE
+// (XC format, matching the served model), opens one connection per client
+// thread, fires SLIDE_BENCH_QUERIES total round trips, and prints one row.
+// CI uses it as the loopback smoke test against `slide_cli serve`.
+//
+// Env knobs: SLIDE_BENCH_SCALE, SLIDE_BENCH_EPOCHS, SLIDE_BENCH_QUERIES
+// (total per grid cell, default 2000), SLIDE_BENCH_CLIENTS (max client
+// threads, default 8), SLIDE_SERVE_BATCH_MAX, SLIDE_SERVE_DELAY_US.
+#include "bench_common.h"
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/svm_reader.h"
+#include "infer/engine.h"
+#include "infer/packed_model.h"
+#include "serve/batching_server.h"
+#include "serve/tcp_server.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace slide;
+
+enum class Dispatch { Direct, PerRequest, Batched };
+
+const char* dispatch_name(Dispatch d) {
+  switch (d) {
+    case Dispatch::Direct: return "direct";
+    case Dispatch::PerRequest: return "batch=1";
+    case Dispatch::Batched: return "batched";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double qps = 0.0;
+  util::HistogramSnapshot latency_us;
+  double avg_batch = 0.0;
+};
+
+// Closed loop: `clients` threads share `total` queries round-robin, each
+// blocking on its own request before issuing the next.
+RunResult run_cell(infer::InferenceEngine& engine, Dispatch dispatch,
+                   infer::TopKMode mode, std::span<const data::SparseVectorView> queries,
+                   std::size_t total, unsigned clients, std::size_t batch_max,
+                   std::uint64_t delay_us) {
+  constexpr std::uint32_t kTopK = 5;
+  util::ShardedHistogram hist;
+
+  serve::ServerConfig scfg;
+  scfg.policy.max_batch_size = dispatch == Dispatch::Batched ? batch_max : 1;
+  scfg.policy.max_queue_delay_us = dispatch == Dispatch::Batched ? delay_us : 0;
+  scfg.queue_capacity = 4096;
+  scfg.admission = serve::Admission::Block;
+  scfg.k = kTopK;
+  scfg.mode = mode;
+  std::unique_ptr<serve::BatchingServer> server;
+  if (dispatch != Dispatch::Direct) {
+    server = std::make_unique<serve::BatchingServer>(engine, scfg);
+  }
+
+  std::atomic<std::size_t> next{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<std::uint32_t> ids;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        const data::SparseVectorView& q = queries[i % queries.size()];
+        Timer t;
+        if (server != nullptr) {
+          const serve::Reply r = server->submit(q, kTopK).get();
+          if (r.status != serve::RequestStatus::Ok) return;  // shouldn't happen
+        } else {
+          engine.predict_topk(q, kTopK, ids, mode);
+        }
+        hist.record(static_cast<std::uint64_t>(t.seconds() * 1e6));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+
+  RunResult r;
+  r.qps = static_cast<double>(total) / seconds;
+  if (server != nullptr) {
+    server->drain();
+    r.avg_batch = server->stats().avg_batch_size;
+  }
+  r.latency_us = hist.snapshot();
+  return r;
+}
+
+void print_row(const char* prec, const char* mode, Dispatch dispatch, unsigned clients,
+               const RunResult& r) {
+  std::printf("%-6s %-8s %-9s %7u %10.0f %8llu %8llu %8llu %9.1f\n", prec, mode,
+              dispatch_name(dispatch), clients, r.qps,
+              static_cast<unsigned long long>(r.latency_us.p50()),
+              static_cast<unsigned long long>(r.latency_us.p95()),
+              static_cast<unsigned long long>(r.latency_us.p99()), r.avg_batch);
+}
+
+int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
+                    std::size_t total, unsigned clients) {
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "SLIDE_SERVE_CONNECT must be host:port\n");
+    return 1;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(std::atoi(connect.c_str() + colon + 1));
+  const data::Dataset queries = data::read_xc_file(queries_file);
+
+  std::printf("tcp loadgen: %s, %zu queries over %u connections\n", connect.c_str(),
+              total, clients);
+  util::ShardedHistogram hist;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> failures{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      try {
+        serve::TcpClient client(host, port);
+        serve::QueryReply reply;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= total) return;
+          Timer t;
+          if (!client.query(queries.features(i % queries.size()), 5, reply) ||
+              reply.status != serve::Status::Ok) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          hist.record(static_cast<std::uint64_t>(t.seconds() * 1e6));
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client: %s\n", e.what());
+        failures.fetch_add(total, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  const util::HistogramSnapshot s = hist.snapshot();
+  std::printf("ok=%llu failed=%zu  %.0f QPS  latency us: p50=%llu p95=%llu p99=%llu\n",
+              static_cast<unsigned long long>(s.count), failures.load(),
+              static_cast<double>(s.count) / seconds,
+              static_cast<unsigned long long>(s.p50()),
+              static_cast<unsigned long long>(s.p95()),
+              static_cast<unsigned long long>(s.p99()));
+  return failures.load() == 0 && s.count > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace slide;
+
+  if (const char* connect = std::getenv("SLIDE_SERVE_CONNECT")) {
+    const char* file = std::getenv("SLIDE_SERVE_QUERIES_FILE");
+    if (file == nullptr) {
+      std::fprintf(stderr, "TCP mode needs SLIDE_SERVE_QUERIES_FILE\n");
+      return 1;
+    }
+    return run_tcp_loadgen(connect, file, bench::env_size("SLIDE_BENCH_QUERIES", 100),
+                           static_cast<unsigned>(bench::env_size("SLIDE_BENCH_CLIENTS", 4)));
+  }
+
+  bench::print_header("Serving latency: dynamic micro-batching vs per-request dispatch");
+  set_log_level(LogLevel::Warn);  // keep the table clean
+
+  bench::Workload w = bench::make_workload(baseline::PaperDataset::Amazon670k);
+  const std::size_t epochs = bench::env_size("SLIDE_BENCH_EPOCHS", 1);
+  set_global_pool_threads(bench::cpx_threads());
+
+  Network net(bench::workload_network(w, Precision::Fp32));
+  Trainer trainer(net, bench::trainer_config(w, epochs));
+  trainer.train(w.train, w.test);
+  net.rebuild_hash_tables(&global_pool());
+
+  const infer::PackedModel packed_fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
+  const infer::PackedModel packed_bf16 =
+      infer::PackedModel::freeze(net, Precision::Bf16All);
+
+  const std::size_t total = bench::env_size("SLIDE_BENCH_QUERIES", 2000);
+  const auto max_clients =
+      static_cast<unsigned>(bench::env_size("SLIDE_BENCH_CLIENTS", 8));
+  const std::size_t batch_max = bench::env_size("SLIDE_SERVE_BATCH_MAX", 64);
+  const std::uint64_t delay_us = bench::env_size("SLIDE_SERVE_DELAY_US", 200);
+
+  std::vector<data::SparseVectorView> queries;
+  const std::size_t nq = std::min(w.test.size(), total);
+  queries.reserve(nq);
+  for (std::size_t i = 0; i < nq; ++i) queries.push_back(w.test.features(i));
+
+  std::printf("model: %zu params; %zu queries/cell; batch-max=%zu delay-us=%llu\n",
+              packed_fp32.num_params(), total, batch_max,
+              static_cast<unsigned long long>(delay_us));
+  std::printf("%-6s %-8s %-9s %7s %10s %8s %8s %8s %9s\n", "prec", "mode", "dispatch",
+              "clients", "QPS", "p50us", "p95us", "p99us", "avg_batch");
+  bench::print_rule(80);
+
+  std::vector<unsigned> client_counts;
+  for (unsigned c = 1; c <= max_clients; c *= 2) client_counts.push_back(c);
+  if (client_counts.back() != max_clients) client_counts.push_back(max_clients);
+
+  for (const bool bf16 : {false, true}) {
+    infer::InferenceEngine engine(bf16 ? packed_bf16 : packed_fp32);
+    for (const auto mode : {infer::TopKMode::Dense, infer::TopKMode::Sampled}) {
+      const char* mode_name = mode == infer::TopKMode::Dense ? "dense" : "sampled";
+      for (const unsigned clients : client_counts) {
+        for (const Dispatch d :
+             {Dispatch::Direct, Dispatch::PerRequest, Dispatch::Batched}) {
+          const RunResult r =
+              run_cell(engine, d, mode, queries, total, clients, batch_max, delay_us);
+          print_row(bf16 ? "bf16" : "fp32", mode_name, d, clients, r);
+        }
+      }
+      bench::print_rule(80);
+    }
+  }
+  return 0;
+}

@@ -148,6 +148,34 @@ bool ArgParser::get_flag(const std::string& name) const {
 
 bool ArgParser::was_set(const std::string& name) const { return specs_.at(name).set; }
 
+CommandSet::CommandSet(std::string program, std::vector<std::string> commands)
+    : program_(std::move(program)), commands_(std::move(commands)) {}
+
+bool CommandSet::contains(const std::string& name) const {
+  for (const auto& c : commands_) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+std::string CommandSet::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " <";
+  for (std::size_t i = 0; i < commands_.size(); ++i) {
+    if (i != 0) os << "|";
+    os << commands_[i];
+  }
+  os << "> [flags]\n       " << program_ << " <command> --help\n";
+  return os.str();
+}
+
+std::string CommandSet::usage_error(const std::string& name) const {
+  std::ostringstream os;
+  if (!name.empty()) os << "error: unknown command '" << name << "'\n";
+  os << usage();
+  return os.str();
+}
+
 void add_isa_flag(ArgParser& args) {
   args.add_string("isa", "auto", "kernel backend: auto | scalar | avx2 | avx512");
 }

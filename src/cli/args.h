@@ -62,6 +62,26 @@ class ArgParser {
   std::string error_;
 };
 
+// Subcommand dispatch table for multi-command tools (slide_cli).  Keeps the
+// "unknown subcommand / no subcommand" failure path uniform and testable:
+// every miss prints the same usage text and the tool exits non-zero.
+class CommandSet {
+ public:
+  CommandSet(std::string program, std::vector<std::string> commands);
+
+  bool contains(const std::string& name) const;
+  // "usage: <prog> <a|b|c> [flags]\n       <prog> <command> --help\n"
+  std::string usage() const;
+  // Full usage-failure report: for an unknown name, names the offender
+  // first; for a missing one (empty `name`), just the usage.  This is the
+  // exact text the CLI prints to stderr before exiting 1.
+  std::string usage_error(const std::string& name) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> commands_;
+};
+
 // --- Standard flags shared across tools -----------------------------------
 
 // Declares the standard --isa flag (auto | scalar | avx2 | avx512).

@@ -191,7 +191,8 @@ std::uint32_t InferenceEngine::predict_top1(data::SparseVectorView x, TopKMode m
 void InferenceEngine::predict_topk_batch(std::span<const data::SparseVectorView> xs,
                                          std::size_t k, std::uint32_t* out_ids,
                                          float* out_scores, TopKMode mode,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool,
+                                         const BatchCompletionFn& on_query_done) {
   if (xs.empty() || k == 0) return;
   if (pool == nullptr) pool = &global_pool();
 
@@ -211,15 +212,22 @@ void InferenceEngine::predict_topk_batch(std::span<const data::SparseVectorView>
         std::copy(scores.begin(), scores.end(), srow);
         std::fill(srow + scores.size(), srow + k, 0.0f);
       }
+      if (on_query_done) on_query_done(q);
     }
   };
 
-  // Small batches aren't worth a pool wake-up.
-  if (xs.size() < 4) {
+  // Small batches aren't worth a pool wake-up, and a 1-thread pool adds
+  // latency without adding parallelism.
+  if (xs.size() < 4 || pool->size() == 1) {
     serve_range(0, xs.size());
     return;
   }
-  pool->parallel_for_dynamic(xs.size(), 8,
+  // Grain adapts to the batch: serving-sized batches (say 8 queries on 8
+  // workers) split all the way down so tail latency scales with the pool,
+  // while eval-sized batches keep chunky grains that amortize the lease.
+  const std::size_t grain =
+      std::clamp<std::size_t>(xs.size() / (2 * std::size_t{pool->size()}), 1, 8);
+  pool->parallel_for_dynamic(xs.size(), grain,
                              [&](unsigned, std::size_t lo, std::size_t hi) {
     serve_range(lo, hi);
   });

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -53,13 +54,23 @@ class InferenceEngine {
   std::uint32_t predict_top1(data::SparseVectorView x, TopKMode mode = TopKMode::Dense);
 
   // --- batched queries ----------------------------------------------------
+  // Per-query completion hook for the batch path: invoked with the query's
+  // index exactly once, as soon as that query's output row is final — i.e.
+  // before the rest of the batch finishes (the partial-batch path the
+  // serving layer uses to complete request futures early).  Runs on
+  // whichever pool worker served the query; must be thread-safe.
+  using BatchCompletionFn = std::function<void(std::size_t query)>;
+
   // Serves xs.size() queries, fanning out over `pool` (the global pool when
   // nullptr).  out_ids is xs.size() x k row-major, padded with kInvalidId;
   // out_scores (optional) has the same shape.  Thread-safe like the single-
-  // query path, though typically one thread submits whole batches.
+  // query path, though typically one thread submits whole batches.  With an
+  // empty batch or k == 0 the call returns at once and `on_query_done` is
+  // never invoked.
   void predict_topk_batch(std::span<const data::SparseVectorView> xs, std::size_t k,
                           std::uint32_t* out_ids, float* out_scores = nullptr,
-                          TopKMode mode = TopKMode::Dense, ThreadPool* pool = nullptr);
+                          TopKMode mode = TopKMode::Dense, ThreadPool* pool = nullptr,
+                          const BatchCompletionFn& on_query_done = {});
 
  private:
   struct Scratch {

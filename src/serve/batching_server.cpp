@@ -1,0 +1,195 @@
+#include "serve/batching_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace slide::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t micros_between(Clock::time_point a, Clock::time_point b) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+std::future<Reply> immediate_reply(RequestStatus status) {
+  std::promise<Reply> p;
+  Reply r;
+  r.status = status;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+unsigned pool_width(ThreadPool* pool) {
+  return (pool != nullptr ? *pool : global_pool()).size();
+}
+}  // namespace
+
+BatchingServer::BatchingServer(infer::InferenceEngine& engine, ServerConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      effective_batch_(std::max<std::size_t>(1, config_.policy.max_batch_size)),
+      // Waiting for a batch to fill only pays when the engine can execute
+      // the bigger batch in parallel; on a 1-thread pool total work is
+      // serial either way, so any coalescing wait is pure added latency.
+      // There the server degenerates to accumulation batching: dispatch
+      // whatever queued while the last batch ran.
+      delay_(pool_width(config_.pool) > 1
+                 ? std::chrono::microseconds(config_.policy.max_queue_delay_us)
+                 : std::chrono::microseconds(0)) {
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+BatchingServer::~BatchingServer() { drain(); }
+
+std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_t k) {
+  Pending req;
+  req.indices.assign(x.indices, x.indices + x.nnz);
+  req.values.assign(x.values, x.values + x.nnz);
+  req.k = k;
+  req.enqueued = Clock::now();
+  std::future<Reply> future = req.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (config_.admission == Admission::Block) {
+      space_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return immediate_reply(RequestStatus::ShuttingDown);
+    }
+    if (queue_.size() >= config_.queue_capacity) {  // Reject mode: queue full
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return immediate_reply(RequestStatus::Rejected);
+    }
+    queue_.push_back(std::move(req));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void BatchingServer::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(drain_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void BatchingServer::dispatcher_main() {
+  std::vector<Pending> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return !queue_.empty() || stopping_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) return;  // stopping and fully drained
+
+      // Coalescing window: wait for the batch to fill, but never past the
+      // oldest request's deadline, and bail out as soon as arrivals stall —
+      // once every closed-loop client is parked in the queue waiting on us,
+      // further waiting is pure added latency.  Stall is checked once per
+      // tick (a fraction of the window, floored so the check itself stays
+      // cheap); draining flushes immediately.
+      const auto deadline = queue_.front().enqueued + delay_;
+      const auto stall_tick = std::max(delay_ / 8, std::chrono::microseconds(20));
+      std::size_t last_size = queue_.size();
+      while (queue_.size() < effective_batch_ &&
+             !stopping_.load(std::memory_order_relaxed)) {
+        const auto now = Clock::now();
+        if (now >= deadline) break;
+        work_cv_.wait_until(lock, std::min(deadline, now + stall_tick), [&] {
+          return queue_.size() >= effective_batch_ ||
+                 stopping_.load(std::memory_order_relaxed);
+        });
+        if (queue_.size() == last_size) break;  // no growth in a full tick
+        last_size = queue_.size();
+      }
+
+      // Pipelining: when not draining, cap the batch at half the backlog
+      // (rounded up) so the queue is never swept empty — with the whole
+      // backlog in flight, every just-served client resubmits against an
+      // idle dispatcher and each batch boundary pays a full drain-and-
+      // refill convoy.  Leaving work queued keeps the dispatcher and the
+      // producers overlapped.
+      const std::size_t backlog = queue_.size();
+      std::size_t take = std::min(effective_batch_, backlog);
+      if (!stopping_.load(std::memory_order_relaxed) && take == backlog && take > 1) {
+        take = (backlog + 1) / 2;
+      }
+      batch.clear();
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    run_batch(batch);
+  }
+}
+
+void BatchingServer::run_batch(std::vector<Pending>& batch) {
+  const auto formed = Clock::now();
+  const std::size_t n = batch.size();
+  std::size_t k = std::min<std::size_t>(config_.k, engine_.model().output_dim());
+  k = std::max<std::size_t>(1, k);
+
+  views_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    views_[i] = {batch[i].indices.data(), batch[i].values.data(),
+                 batch[i].indices.size()};
+    queue_us_.record(micros_between(batch[i].enqueued, formed));
+  }
+
+  ids_.resize(n * k);
+  scores_.resize(n * k);
+  // The engine completes queries out of order across pool workers; the
+  // per-query callback hands each reply to its waiter the moment its row is
+  // final instead of after the whole batch (the partial-batch path).
+  engine_.predict_topk_batch(
+      views_, k, ids_.data(), scores_.data(), config_.mode, config_.pool,
+      [&](std::size_t q) {
+        Pending& req = batch[q];
+        const std::uint32_t* row = ids_.data() + q * k;
+        const float* srow = scores_.data() + q * k;
+        std::size_t count = k;
+        while (count > 0 && row[count - 1] == infer::InferenceEngine::kInvalidId) {
+          --count;
+        }
+        if (req.k != 0) count = std::min<std::size_t>(count, req.k);
+        Reply reply;
+        reply.status = RequestStatus::Ok;
+        reply.ids.assign(row, row + count);
+        reply.scores.assign(srow, srow + count);
+        total_us_.record(micros_between(req.enqueued, Clock::now()));
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        req.promise.set_value(std::move(reply));
+      });
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServerStats BatchingServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.avg_batch_size =
+      s.batches == 0 ? 0.0
+                     : static_cast<double>(s.completed) / static_cast<double>(s.batches);
+  s.queue_us = queue_us_.snapshot();
+  s.total_us = total_us_.snapshot();
+  return s;
+}
+
+}  // namespace slide::serve

@@ -1,0 +1,283 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace slide::serve {
+
+namespace {
+
+// EINTR-safe full-buffer read; false on EOF/error before `n` bytes.
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return false;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  return write_full(fd, &len, sizeof(len)) &&
+         write_full(fd, payload.data(), payload.size());
+}
+
+// false on clean EOF or transport error; oversized frames throw to kill the
+// connection (the peer is not speaking our protocol).
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint32_t len = 0;
+  if (!read_full(fd, &len, sizeof(len))) return false;
+  if (len > kMaxPayloadBytes) throw std::runtime_error("oversized frame");
+  payload.resize(len);
+  return len == 0 || read_full(fd, payload.data(), len);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(BatchingServer& server, TcpServerConfig config)
+    : server_(server), config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    throw_errno("bind " + config_.bind_address);
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    ::close(listen_fd_);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(listen_fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  if (accept_thread_.joinable()) return;
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+void TcpServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblock accept(), then every connection's blocking read AND write (a
+  // stalled client that stopped reading replies leaves its handler blocked
+  // in send(); SHUT_RD alone would hang the join below).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Every connection thread has returned, so every accepted query is
+  // already submitted; drain answers them all.
+  server_.drain();
+}
+
+void TcpServer::accept_main() {
+  log_info("serve: listening on ", config_.bind_address, ":", port_);
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM) {
+        // Transient (peer gave up / fd or buffer pressure): keep accepting.
+        log_warn("serve: accept failed (transient): ", std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      log_warn("serve: accept failed: ", std::strerror(errno));
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    open_fds_.push_back(fd);
+    threads_.emplace_back([this, fd] { connection_main(fd); });
+  }
+}
+
+// Indices must fall inside the model's feature space and be strictly
+// increasing (the engine's sparse kernels index weight rows with them
+// unchecked — a wild index from the wire would read out of the arena).
+static bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim) {
+  for (std::size_t i = 0; i < req.indices.size(); ++i) {
+    if (req.indices[i] >= input_dim) return false;
+    if (i > 0 && req.indices[i] <= req.indices[i - 1]) return false;
+  }
+  return true;
+}
+
+void TcpServer::connection_main(int fd) {
+  const std::size_t input_dim = server_.engine().model().input_dim();
+  std::vector<std::uint8_t> payload;
+  QueryRequest req;
+  try {
+    while (read_frame(fd, payload)) {
+      std::string reason;
+      const Status parsed = decode_query(payload, req, &reason);
+      if (parsed != Status::Ok) {
+        if (!write_frame(fd, encode_error_reply(parsed, reason))) break;
+        continue;
+      }
+      if (!valid_feature_indices(req, input_dim)) {
+        if (!write_frame(fd, encode_error_reply(
+                                 Status::BadRequest,
+                                 "feature indices must be strictly increasing "
+                                 "and below the model input dim"))) {
+          break;
+        }
+        continue;
+      }
+      data::SparseVectorView view{req.indices.data(), req.values.data(),
+                                  req.indices.size()};
+      Reply reply = server_.submit(view, req.k).get();
+      bool sent = false;
+      switch (reply.status) {
+        case RequestStatus::Ok:
+          sent = write_frame(fd, encode_reply(reply.ids, reply.scores));
+          break;
+        case RequestStatus::Rejected:
+          sent = write_frame(
+              fd, encode_error_reply(Status::Overloaded, "queue full, retry later"));
+          break;
+        case RequestStatus::ShuttingDown:
+          sent = write_frame(
+              fd, encode_error_reply(Status::ShuttingDown, "server is draining"));
+          break;
+      }
+      if (!sent) break;
+    }
+  } catch (const std::exception& e) {
+    log_warn("serve: dropping connection: ", e.what());
+  }
+  // Deregister BEFORE closing: once close() releases the fd number the
+  // kernel can hand it to a new connection, and erasing after that could
+  // remove the live entry (stop() would then miss its shutdown and hang).
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto it = open_fds_.begin(); it != open_fds_.end(); ++it) {
+      if (*it == fd) {
+        open_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("connect " + host);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpClient::~TcpClient() { close(); }
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpClient::query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply) {
+  return round_trip_raw(encode_query({x.indices, x.nnz}, {x.values, x.nnz}, k), reply);
+}
+
+bool TcpClient::round_trip_raw(const std::vector<std::uint8_t>& payload,
+                               QueryReply& reply) {
+  if (fd_ < 0 || !write_frame(fd_, payload)) return false;
+  std::vector<std::uint8_t> in;
+  try {
+    if (!read_frame(fd_, in)) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return decode_reply(in, reply);
+}
+
+}  // namespace slide::serve

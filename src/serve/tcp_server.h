@@ -1,0 +1,95 @@
+// Length-prefixed binary TCP front end over the BatchingServer, plus the
+// matching blocking client used by the load generator and the tests.
+//
+// One accept-loop thread, one thread per connection.  A connection speaks
+// the serve/protocol.h framing: clients may send any number of query frames
+// back to back; each gets exactly one reply frame, in order.  Heavy lifting
+// (batching, engine fan-out) happens behind the BatchingServer, so a
+// connection thread is just parse -> submit -> wait -> reply.
+//
+// stop() closes the listener and shuts down every live connection socket
+// (unblocking their reads), joins all threads, then drains the batching
+// core — so every accepted query is answered before the process exits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batching_server.h"
+#include "serve/protocol.h"
+
+namespace slide::serve {
+
+struct TcpServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+  int backlog = 64;
+};
+
+class TcpServer {
+ public:
+  // Binds and listens immediately (throws std::runtime_error on failure) so
+  // the caller can report the resolved ephemeral port before serving.
+  TcpServer(BatchingServer& server, TcpServerConfig config);
+  ~TcpServer();  // implicit stop()
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  void start();  // launches the accept loop; idempotent
+  void stop();   // graceful: unblock + join everything; idempotent
+
+  std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_main();
+  void connection_main(int fd);
+
+  BatchingServer& server_;
+  const TcpServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::mutex stop_mutex_;  // serializes concurrent stop() calls on the joins
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;            // guards open_fds_ / threads_
+  std::vector<int> open_fds_;        // live connection sockets, for shutdown()
+  std::vector<std::thread> threads_;
+};
+
+// Blocking client for one TCP connection; used by the bench load generator,
+// the CI loopback smoke test, and test_serving.  Not thread-safe: one
+// client per client thread.
+class TcpClient {
+ public:
+  TcpClient(const std::string& host, std::uint16_t port);  // throws on failure
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  // One framed round trip.  Returns false only on a transport/framing
+  // failure (closed socket, malformed reply); protocol-level errors come
+  // back in reply.status.
+  bool query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply);
+  // Sends raw payload bytes as one frame and reads one reply frame; lets
+  // tests exercise the server's malformed-request handling.
+  bool round_trip_raw(const std::vector<std::uint8_t>& payload, QueryReply& reply);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace slide::serve

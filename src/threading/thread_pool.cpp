@@ -83,6 +83,10 @@ void ThreadPool::parallel_for(std::size_t total, const RangeFn& fn) {
     fn(0, 0, total);
     return;
   }
+  // Without this, a second external submitter could overwrite job_ while the
+  // first job's workers still read it (both done_cv_ waits would then hang
+  // on a clobbered running_ count).
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     job_ = Job{&fn, total, 0};
@@ -106,6 +110,7 @@ void ThreadPool::parallel_for_dynamic(std::size_t total, std::size_t grain,
     fn(0, 0, total);
     return;
   }
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     job_ = Job{&fn, total, grain};

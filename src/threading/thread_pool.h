@@ -36,7 +36,10 @@ class ThreadPool {
   // Splits [0, total) into one contiguous chunk per worker (OpenMP "static").
   // Blocks until every chunk finished.  The first exception thrown by any
   // worker is rethrown on the calling thread.  Reentrant calls from inside a
-  // worker run the whole range serially instead of deadlocking.
+  // worker run the whole range serially instead of deadlocking.  Concurrent
+  // submissions from different external threads are safe: the pool runs one
+  // job at a time and later submitters queue behind it (the serving
+  // dispatcher and a batch-predict caller may share the global pool).
   void parallel_for(std::size_t total, const RangeFn& fn);
 
   // Work-stealing-lite: workers repeatedly claim `grain`-sized chunks from an
@@ -58,6 +61,7 @@ class ThreadPool {
   void run_job(unsigned rank);
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // one in-flight job; external submitters serialize
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

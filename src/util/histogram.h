@@ -1,0 +1,151 @@
+// Lock-light sharded latency histogram with tail-quantile extraction.
+//
+// The serving path records one sample per request from many threads at
+// once (server workers, the TCP accept loop, bench client threads), so the
+// hot path must not funnel through a mutex.  Samples land in one of a small
+// fixed number of cache-line-isolated shards chosen by thread identity;
+// within a shard every bucket is a relaxed atomic counter.  Reading is the
+// rare operation: snapshot() merges the shards into a plain array and
+// extracts p50/p95/p99 from the cumulative distribution.
+//
+// Bucketing is HdrHistogram-style log-linear: values below 2^kSubBits are
+// stored exactly; above that, each power-of-two range is split into
+// 2^kSubBits linear sub-buckets, bounding the relative quantile error at
+// 2^-kSubBits (= 1/32 ≈ 3.1% here) while keeping the whole table a few KiB.
+// Values are plain uint64 counts — microseconds in the serving code, but
+// nothing here assumes a unit.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "util/aligned.h"
+
+namespace slide::util {
+
+namespace detail {
+inline constexpr unsigned kSubBits = 5;  // 32 linear sub-buckets per octave
+inline constexpr unsigned kValueBits = 64;
+inline constexpr std::size_t kBucketCount =
+    (std::size_t{1} << kSubBits) * (kValueBits - kSubBits + 1);
+
+// Log-linear bucket index; monotone in v, total over all uint64 values.
+inline std::size_t bucket_index(std::uint64_t v) {
+  const unsigned sub = kSubBits;
+  if (v < (std::uint64_t{1} << sub)) return static_cast<std::size_t>(v);
+  const unsigned top = std::bit_width(v) - 1;  // >= sub
+  const unsigned shift = top - sub;
+  const std::uint64_t mantissa = (v >> shift) & ((std::uint64_t{1} << sub) - 1);
+  return (std::size_t{shift} + 1) * (std::size_t{1} << sub) +
+         static_cast<std::size_t>(mantissa);
+}
+
+// Largest value mapping to bucket `i` (the reported quantile bound, so the
+// extracted percentile never understates the true one).
+inline std::uint64_t bucket_upper_bound(std::size_t i) {
+  const unsigned sub = kSubBits;
+  if (i < (std::size_t{1} << sub)) return static_cast<std::uint64_t>(i);
+  const unsigned shift = static_cast<unsigned>(i >> sub) - 1;
+  const std::uint64_t mantissa = i & ((std::uint64_t{1} << sub) - 1);
+  const std::uint64_t base = ((std::uint64_t{1} << sub) | mantissa) << shift;
+  return base + ((std::uint64_t{1} << shift) - 1);
+}
+}  // namespace detail
+
+// Immutable merged view of a histogram at one point in time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Smallest recorded-value upper bound with cumulative mass >= q.
+  std::uint64_t quantile(double q) const {
+    if (count == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < detail::kBucketCount; ++i) {
+      seen += counts[i];
+      if (seen >= target && seen > 0) {
+        return std::min<std::uint64_t>(detail::bucket_upper_bound(i), max);
+      }
+    }
+    return max;
+  }
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p95() const { return quantile(0.95); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  std::uint64_t counts[detail::kBucketCount] = {};
+};
+
+class ShardedHistogram {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  ShardedHistogram() = default;
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  // Wait-free except for the max update's bounded CAS retry loop.
+  void record(std::uint64_t value) {
+    Shard& s = shards_[shard_index()];
+    s.counts[detail::bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !s.max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    for (const Shard& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+      for (std::size_t i = 0; i < detail::kBucketCount; ++i) {
+        out.counts[i] += s.counts[i].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  // Not linearizable against concurrent record() calls; callers quiesce
+  // writers first (the bench resets between grid cells).
+  void reset() {
+    for (Shard& s : shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+      for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> counts[detail::kBucketCount] = {};
+  };
+
+  static std::size_t shard_index() {
+    // Thread-identity hash; stable per thread so a thread's writes stay in
+    // one shard's cache lines.
+    const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return h % kShards;
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace slide::util

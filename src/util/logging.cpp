@@ -25,8 +25,20 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
+  // The serving path logs from engine workers, connection handlers and the
+  // accept loop at once.  Format the whole line first, then emit it as one
+  // fwrite under the mutex: a single write keeps lines intact even if some
+  // other code bypasses the lock and writes stderr directly.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[slide ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[slide %s] %s\n", level_name(level), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 }  // namespace detail
 

@@ -1,5 +1,10 @@
 // Tiny leveled logger.  Kept deliberately minimal: the training loops log
 // epoch summaries through this so examples/benches can silence them.
+//
+// Thread-safe: the level is an atomic and each line is formatted off-lock,
+// then written to stderr as a single mutex-guarded fwrite — concurrent
+// callers (server workers, the TCP accept loop, pool threads) never
+// interleave characters within a line.
 #pragma once
 
 #include <sstream>
@@ -35,6 +40,10 @@ void log_warn(const Args&... args) {
 template <typename... Args>
 void log_debug(const Args&... args) {
   log(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::Error, args...);
 }
 
 }  // namespace slide

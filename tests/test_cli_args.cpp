@@ -131,6 +131,37 @@ TEST(ArgParser, GetUndeclaredThrows) {
   EXPECT_THROW((void)p.get_string("nope"), std::out_of_range);
 }
 
+// slide_cli's subcommand table: every miss (unknown name or no name at all)
+// must produce the same usage text, so scripts can rely on a uniform
+// non-zero-exit + usage-on-stderr contract across train|freeze|predict|serve.
+TEST(CommandSet, KnowsItsCommands) {
+  const CommandSet commands(
+      "slide_cli", {"gen", "train", "eval", "info", "freeze", "predict", "serve"});
+  for (const char* name : {"gen", "train", "eval", "info", "freeze", "predict", "serve"}) {
+    EXPECT_TRUE(commands.contains(name)) << name;
+  }
+  EXPECT_FALSE(commands.contains("servee"));
+  EXPECT_FALSE(commands.contains(""));
+  EXPECT_FALSE(commands.contains("--help"));
+}
+
+TEST(CommandSet, UsageListsEveryCommandAndHelpForm) {
+  const CommandSet commands("slide_cli", {"train", "freeze", "predict", "serve"});
+  const std::string usage = commands.usage();
+  EXPECT_NE(usage.find("usage: slide_cli <train|freeze|predict|serve> [flags]"),
+            std::string::npos);
+  EXPECT_NE(usage.find("slide_cli <command> --help"), std::string::npos);
+}
+
+TEST(CommandSet, UsageErrorIsUniformForUnknownAndMissing) {
+  const CommandSet commands("slide_cli", {"train", "serve"});
+  const std::string unknown = commands.usage_error("blorp");
+  EXPECT_NE(unknown.find("unknown command 'blorp'"), std::string::npos);
+  EXPECT_NE(unknown.find(commands.usage()), std::string::npos);
+  // Missing subcommand: no offender line, same usage.
+  EXPECT_EQ(commands.usage_error(""), commands.usage());
+}
+
 TEST(IsaFlag, SelectsRequestedBackend) {
   const kernels::Isa ambient = kernels::active_isa();
   for (const kernels::Isa isa : kernels::available_isas()) {

@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace slide::util {
+namespace {
+
+TEST(HistogramBuckets, IndexIsMonotoneAndBounded) {
+  std::size_t prev = 0;
+  // Dense sweep over the exact range plus probes across the log-linear one.
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t i = detail::bucket_index(v);
+    ASSERT_LT(i, detail::kBucketCount);
+    ASSERT_GE(i, prev);
+    prev = i;
+  }
+  for (std::uint64_t v = 4096; v > 0 && v < (std::uint64_t{1} << 62); v *= 3) {
+    const std::size_t i = detail::bucket_index(v);
+    ASSERT_LT(i, detail::kBucketCount);
+    ASSERT_GE(i, prev);
+    prev = i;
+  }
+  ASSERT_LT(detail::bucket_index(~std::uint64_t{0}), detail::kBucketCount);
+}
+
+TEST(HistogramBuckets, UpperBoundContainsItsValues) {
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{31},
+                          std::uint64_t{32}, std::uint64_t{33}, std::uint64_t{1000},
+                          std::uint64_t{123456789}, std::uint64_t{1} << 40}) {
+    const std::size_t i = detail::bucket_index(v);
+    EXPECT_GE(detail::bucket_upper_bound(i), v);
+    // The bound maps back to the same bucket (it's the last such value).
+    EXPECT_EQ(detail::bucket_index(detail::bucket_upper_bound(i)), i);
+  }
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  ShardedHistogram h;
+  // 1..100: values below 2^5 are exact; the quantile bound never
+  // understates, and relative error above is <= 1/32.
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_GE(s.p50(), 50u);
+  EXPECT_LE(s.p50(), 52u);
+  EXPECT_GE(s.p99(), 99u);
+  EXPECT_LE(s.p99(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  ShardedHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const auto got = static_cast<double>(s.quantile(q));
+    const double want = q * 100000.0;
+    EXPECT_GE(got, want * 0.999) << q;          // never understates
+    EXPECT_LE(got, want * (1.0 + 1.0 / 32) + 1) << q;  // log-linear bound
+  }
+  EXPECT_EQ(s.quantile(1.0), 100000u);
+}
+
+TEST(Histogram, EmptyAndReset) {
+  ShardedHistogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().p99(), 0u);
+  h.record(42);
+  EXPECT_EQ(h.snapshot().count, 1u);
+  h.reset();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Histogram, QuantilesAreOrdered) {
+  ShardedHistogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 1000; ++i) h.record(v = (v * 2862933555777941757ull + 3) % 1000000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+  EXPECT_LE(s.p99(), s.max);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  ShardedHistogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(t * kPerThread + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, kThreads * kPerThread - 1);
+  // Sum of 0..N-1.
+  const std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(s.sum, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace slide::util

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -247,6 +248,109 @@ TEST(PackedModel, BatchedMatchesPerExample) {
       ASSERT_EQ(batch_scores[i * k + j], one_scores[j]) << "query " << i;
     }
   }
+}
+
+// --- batch-entry edge cases the serving layer hits -------------------------
+
+TEST(PackedModel, BatchEmptyAndZeroKAreNoOps) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+
+  int callbacks = 0;
+  engine.predict_topk_batch({}, 5, nullptr, nullptr, infer::TopKMode::Dense, nullptr,
+                            [&](std::size_t) { ++callbacks; });
+  EXPECT_EQ(callbacks, 0);
+
+  const data::Dataset queries = query_set(4);
+  std::vector<data::SparseVectorView> views;
+  for (std::size_t i = 0; i < queries.size(); ++i) views.push_back(queries.features(i));
+  std::vector<std::uint32_t> ids(4, 12345u);
+  engine.predict_topk_batch(views, 0, ids.data(), nullptr, infer::TopKMode::Dense,
+                            nullptr, [&](std::size_t) { ++callbacks; });
+  EXPECT_EQ(callbacks, 0);
+  for (const std::uint32_t id : ids) EXPECT_EQ(id, 12345u);  // untouched
+}
+
+TEST(PackedModel, BatchSmallerThanThreadCountMatchesPerExample) {
+  // Below the engine's fan-out threshold AND below the pool size: the batch
+  // must still produce exactly the per-example results.
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(2);
+  std::vector<data::SparseVectorView> views;
+  for (std::size_t i = 0; i < queries.size(); ++i) views.push_back(queries.features(i));
+
+  constexpr std::size_t k = 5;
+  std::vector<std::uint32_t> ids(views.size() * k);
+  engine.predict_topk_batch(views, k, ids.data());
+  std::vector<std::uint32_t> one;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    engine.predict_topk(views[i], k, one);
+    for (std::size_t j = 0; j < one.size(); ++j) EXPECT_EQ(ids[i * k + j], one[j]);
+  }
+}
+
+TEST(PackedModel, BatchKLargerThanOutputLayerPadsWithInvalidId) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(6);
+  std::vector<data::SparseVectorView> views;
+  for (std::size_t i = 0; i < queries.size(); ++i) views.push_back(queries.features(i));
+
+  const std::size_t k = pm.output_dim() + 25;  // more than the layer can rank
+  std::vector<std::uint32_t> ids(views.size() * k);
+  std::vector<float> scores(views.size() * k);
+  engine.predict_topk_batch(views, k, ids.data(), scores.data());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const std::uint32_t* row = ids.data() + i * k;
+    for (std::size_t j = 0; j < pm.output_dim(); ++j) {
+      ASSERT_NE(row[j], infer::InferenceEngine::kInvalidId) << "query " << i;
+      ASSERT_LT(row[j], pm.output_dim());
+    }
+    for (std::size_t j = pm.output_dim(); j < k; ++j) {
+      ASSERT_EQ(row[j], infer::InferenceEngine::kInvalidId) << "query " << i;
+      ASSERT_EQ(scores[i * k + j], 0.0f);
+    }
+    // Each neuron id appears exactly once in the ranked prefix.
+    std::vector<bool> seen(pm.output_dim(), false);
+    for (std::size_t j = 0; j < pm.output_dim(); ++j) {
+      ASSERT_FALSE(seen[row[j]]);
+      seen[row[j]] = true;
+    }
+  }
+}
+
+TEST(PackedModel, BatchCompletionCallbackFiresOncePerQuery) {
+  Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  infer::InferenceEngine engine(pm);
+  const data::Dataset queries = query_set(40);  // large enough to fan out
+  std::vector<data::SparseVectorView> views;
+  for (std::size_t i = 0; i < queries.size(); ++i) views.push_back(queries.features(i));
+
+  constexpr std::size_t k = 5;
+  std::vector<std::uint32_t> ids(views.size() * k, infer::InferenceEngine::kInvalidId);
+  std::vector<std::atomic<int>> fired(views.size());
+  for (auto& f : fired) f.store(0);
+  std::atomic<int> rows_ready{0};
+  engine.predict_topk_batch(
+      views, k, ids.data(), nullptr, infer::TopKMode::Dense, nullptr,
+      [&](std::size_t q) {
+        fired[q].fetch_add(1);
+        // The query's row must already be final when its callback runs.
+        bool complete = true;
+        for (std::size_t j = 0; j < k; ++j) {
+          complete = complete && ids[q * k + j] != infer::InferenceEngine::kInvalidId;
+        }
+        if (complete) rows_ready.fetch_add(1);
+      });
+  for (std::size_t qi = 0; qi < views.size(); ++qi) {
+    EXPECT_EQ(fired[qi].load(), 1) << "query " << qi;
+  }
+  EXPECT_EQ(rows_ready.load(), static_cast<int>(views.size()));
 }
 
 TEST(PackedModel, ConcurrentQueriesMatchNetworkExactly) {

@@ -6,15 +6,22 @@
 //   slide_cli info    --model m.bin
 //   slide_cli freeze  --model m.bin --out m.pk [--precision keep|fp32|bf16act|bf16all]
 //   slide_cli predict --model m.pk --test f.txt [--topk 5] [--mode dense|sampled]
+//   slide_cli serve   --model m.pk --port 7070 [batching flags]
 //
 // `gen` materializes a synthetic paper-statistics dataset in XC format (the
 // same format the real Amazon-670K / WikiLSHTC-325K downloads use, so real
 // files work everywhere a generated one does).  `freeze` packs a training
 // checkpoint into an immutable serving snapshot; `predict` serves a test
-// file from one and reports P@k plus QPS.
+// file from one and reports P@k plus QPS; `serve` runs the micro-batching
+// TCP server over a packed model until SIGINT/SIGTERM, then drains and
+// prints latency percentiles.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/dense_network.h"
@@ -29,7 +36,10 @@
 #include "infer/engine.h"
 #include "infer/packed_model.h"
 #include "kernels/kernels.h"
+#include "serve/batching_server.h"
+#include "serve/tcp_server.h"
 #include "threading/thread_pool.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace {
@@ -356,16 +366,116 @@ int cmd_predict(int argc, const char* const* argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+extern "C" void handle_shutdown_signal(int) { g_shutdown_signal = 1; }
+
+int cmd_serve(int argc, const char* const* argv) {
+  cli::ArgParser args("slide_cli serve: micro-batching TCP server over a packed model");
+  args.add_required_string("model", "packed model from `slide_cli freeze`");
+  args.add_int("port", 7070, "TCP port (0 = ephemeral; the bound port is logged)");
+  args.add_string("bind", "127.0.0.1", "bind address");
+  args.add_int("topk", 5, "ids per reply (per-request k is capped here)");
+  args.add_string("mode", "dense", "dense (exact) | sampled (LSH candidates)");
+  args.add_int("batch-max", 64, "dispatch a batch at this many queued requests");
+  args.add_int("delay-us", 200, "max time a request waits for its batch to fill");
+  args.add_int("queue-cap", 1024, "bounded request-queue capacity");
+  args.add_string("admission", "reject", "queue-full policy: reject | block");
+  args.add_int("threads", 0, "worker threads");
+  cli::add_isa_flag(args);
+  if (help_requested(args, argc, argv)) return 0;
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
+    return 1;
+  }
+  if (!apply_common_system_flags(args)) return 1;
+
+  const std::string mode_name = args.get_string("mode");
+  if (mode_name != "dense" && mode_name != "sampled") {
+    std::fprintf(stderr, "error: --mode must be dense|sampled\n");
+    return 1;
+  }
+  const std::string admission_name = args.get_string("admission");
+  if (admission_name != "reject" && admission_name != "block") {
+    std::fprintf(stderr, "error: --admission must be reject|block\n");
+    return 1;
+  }
+  if (args.get_int("port") < 0 || args.get_int("port") > 65535) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return 1;
+  }
+
+  // Install before the model load so an early SIGTERM still exits cleanly.
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  const infer::PackedModel packed = infer::PackedModel::load_file(args.get_string("model"));
+  infer::InferenceEngine engine(packed);
+
+  serve::ServerConfig scfg;
+  scfg.policy.max_batch_size = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, args.get_int("batch-max")));
+  scfg.policy.max_queue_delay_us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, args.get_int("delay-us")));
+  scfg.queue_capacity = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, args.get_int("queue-cap")));
+  scfg.admission = admission_name == "block" ? serve::Admission::Block
+                                             : serve::Admission::Reject;
+  scfg.k = static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("topk")));
+  scfg.mode = mode_name == "sampled" ? infer::TopKMode::Sampled : infer::TopKMode::Dense;
+  serve::BatchingServer server(engine, scfg);
+
+  serve::TcpServerConfig tcfg;
+  tcfg.bind_address = args.get_string("bind");
+  tcfg.port = static_cast<std::uint16_t>(args.get_int("port"));
+  serve::TcpServer tcp(server, tcfg);
+
+  log_info("serve: model=", args.get_string("model"), " params=", packed.num_params(),
+           " mode=", mode_name, " backend=", kernels::active_isa_name());
+  log_info("serve: batch-max=", scfg.policy.max_batch_size,
+           " delay-us=", scfg.policy.max_queue_delay_us,
+           " queue-cap=", scfg.queue_capacity, " admission=", admission_name);
+
+  tcp.start();
+  // The port line is the startup handshake scripts wait for (CI greps it).
+  std::printf("serving on %s:%u\n", tcfg.bind_address.c_str(), tcp.port());
+  std::fflush(stdout);
+
+  while (g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  log_info("serve: shutdown signal received; draining");
+  tcp.stop();  // joins connections, then drains the batching core
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("served %llu queries in %llu batches (avg batch %.1f), rejected %llu, "
+              "connections %llu\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.batches), stats.avg_batch_size,
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(tcp.connections_accepted()));
+  std::printf("latency us: p50=%llu p95=%llu p99=%llu max=%llu (queue p50=%llu)\n",
+              static_cast<unsigned long long>(stats.total_us.p50()),
+              static_cast<unsigned long long>(stats.total_us.p95()),
+              static_cast<unsigned long long>(stats.total_us.p99()),
+              static_cast<unsigned long long>(stats.total_us.max),
+              static_cast<unsigned long long>(stats.queue_us.p50()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const cli::CommandSet commands(
+      "slide_cli", {"gen", "train", "eval", "info", "freeze", "predict", "serve"});
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: slide_cli <gen|train|eval|info|freeze|predict> [flags]\n"
-                 "       slide_cli <command> --help\n");
+    std::fprintf(stderr, "%s", commands.usage_error("").c_str());
     return 1;
   }
   const std::string command = argv[1];
+  if (!commands.contains(command)) {
+    std::fprintf(stderr, "%s", commands.usage_error(command).c_str());
+    return 1;
+  }
   try {
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "train") return cmd_train(argc, argv);
@@ -373,12 +483,10 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(argc, argv);
     if (command == "freeze") return cmd_freeze(argc, argv);
     if (command == "predict") return cmd_predict(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr,
-               "unknown command '%s' (expected gen|train|eval|info|freeze|predict)\n",
-               command.c_str());
-  return 1;
+  return 1;  // unreachable: every known command returned above
 }
