@@ -2,6 +2,7 @@
 // micro-batching server.
 //
 //   ./bench_serving_latency                 # in-process sweep (default)
+//   ./bench_serving_latency --chaos         # fault-injection run (see below)
 //   SLIDE_SERVE_CONNECT=127.0.0.1:7070 \
 //   SLIDE_SERVE_QUERIES_FILE=q.test.txt \
 //   ./bench_serving_latency                 # TCP loadgen against slide_cli serve
@@ -25,9 +26,17 @@
 // thread, fires SLIDE_BENCH_QUERIES total round trips, and prints one row.
 // CI uses it as the loopback smoke test against `slide_cli serve`.
 //
+// --chaos runs one deliberately hostile cell instead of the sweep: a small
+// queue, tight request deadlines, and armed fault-injection points
+// (engine delays/failures, admission failures).  The report shows QPS and
+// tail latency of the successful requests ALONGSIDE the shed / expired /
+// degraded / error counts, so the overload machinery's cost is visible
+// rather than averaged away.  Override the fault spec with SLIDE_FAULTS.
+//
 // Env knobs: SLIDE_BENCH_SCALE, SLIDE_BENCH_EPOCHS, SLIDE_BENCH_QUERIES
 // (total per grid cell, default 2000), SLIDE_BENCH_CLIENTS (max client
-// threads, default 8), SLIDE_SERVE_BATCH_MAX, SLIDE_SERVE_DELAY_US.
+// threads, default 8), SLIDE_SERVE_BATCH_MAX, SLIDE_SERVE_DELAY_US,
+// SLIDE_BENCH_DEADLINE_US (chaos deadline budget, default 20000).
 #include "bench_common.h"
 
 #include <atomic>
@@ -42,6 +51,7 @@
 #include "infer/packed_model.h"
 #include "serve/batching_server.h"
 #include "serve/tcp_server.h"
+#include "util/fault_injection.h"
 #include "util/histogram.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -159,7 +169,9 @@ int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= total) return;
           Timer t;
-          if (!client.query(queries.features(i % queries.size()), 5, reply) ||
+          // The retry path reconnects through dropped/stalled connections,
+          // so a fault-armed server still yields a clean loadgen run.
+          if (!client.query_with_retry(queries.features(i % queries.size()), 5, reply) ||
               reply.status != serve::Status::Ok) {
             failures.fetch_add(1, std::memory_order_relaxed);
             continue;
@@ -184,10 +196,116 @@ int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
   return failures.load() == 0 && s.count > 0 ? 0 : 1;
 }
 
+// One hostile cell: small queue + deadlines + armed faults.  Reports the
+// client-observed outcome mix next to the latency of what succeeded.
+int run_chaos(infer::InferenceEngine& engine,
+              std::span<const data::SparseVectorView> queries, std::size_t total,
+              unsigned clients, std::uint64_t deadline_us) {
+  auto& faults = util::FaultInjector::instance();
+  if (std::getenv("SLIDE_FAULTS") == nullptr) {
+    std::string error;
+    if (!faults.configure(
+            "engine-delay=0.05:2000,engine-fail=0.02,admission-fail=0.01", &error)) {
+      std::fprintf(stderr, "chaos: bad default fault spec: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  serve::ServerConfig scfg;
+  scfg.policy.max_batch_size = bench::env_size("SLIDE_SERVE_BATCH_MAX", 32);
+  scfg.policy.max_queue_delay_us = bench::env_size("SLIDE_SERVE_DELAY_US", 200);
+  scfg.queue_capacity = 64;  // small on purpose: pressure should actually trip
+  scfg.admission = serve::Admission::Reject;
+  scfg.k = 5;
+  scfg.mode = infer::TopKMode::Dense;
+  scfg.pressure.degrade_fill = 0.5;
+  serve::BatchingServer server(engine, scfg);
+
+  std::printf("chaos: %zu queries over %u clients, deadline %llu us, queue cap %zu\n",
+              total, clients, static_cast<unsigned long long>(deadline_us),
+              scfg.queue_capacity);
+
+  util::ShardedHistogram hist;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> ok{0}, degraded{0}, rejected{0}, expired{0}, errors{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        const data::SparseVectorView& q = queries[i % queries.size()];
+        Timer t;
+        const serve::Reply r = server.submit(q, 5, deadline_us).get();
+        switch (r.status) {
+          case serve::RequestStatus::Ok:
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (r.degraded) degraded.fetch_add(1, std::memory_order_relaxed);
+            hist.record(static_cast<std::uint64_t>(t.seconds() * 1e6));
+            break;
+          case serve::RequestStatus::Rejected:
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serve::RequestStatus::DeadlineExceeded:
+            expired.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            errors.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  server.drain();
+  faults.reset();
+
+  const util::HistogramSnapshot s = hist.snapshot();
+  const serve::ServerStats st = server.stats();
+  std::printf("outcome: ok=%llu (degraded=%llu) rejected=%llu expired=%llu errors=%llu\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(degraded.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(expired.load()),
+              static_cast<unsigned long long>(errors.load()));
+  std::printf("server:  shed=%llu expired=%llu degraded=%llu errors=%llu batches=%llu "
+              "(avg %.1f)\n",
+              static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.expired),
+              static_cast<unsigned long long>(st.degraded),
+              static_cast<unsigned long long>(st.errors),
+              static_cast<unsigned long long>(st.batches), st.avg_batch_size);
+  std::printf("faults:  engine-delay=%llu engine-fail=%llu admission-fail=%llu\n",
+              static_cast<unsigned long long>(
+                  faults.triggered(util::FaultPoint::EngineDelay)),
+              static_cast<unsigned long long>(
+                  faults.triggered(util::FaultPoint::EngineFail)),
+              static_cast<unsigned long long>(
+                  faults.triggered(util::FaultPoint::AdmissionFail)));
+  std::printf("ok QPS %.0f  latency us: p50=%llu p95=%llu p99=%llu\n",
+              static_cast<double>(s.count) / seconds,
+              static_cast<unsigned long long>(s.p50()),
+              static_cast<unsigned long long>(s.p95()),
+              static_cast<unsigned long long>(s.p99()));
+  // A chaos run succeeds when the server survived: every request got SOME
+  // answer and at least one succeeded.
+  const std::uint64_t answered =
+      ok.load() + rejected.load() + expired.load() + errors.load();
+  return answered == total && ok.load() > 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slide;
+
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+  }
 
   if (const char* connect = std::getenv("SLIDE_SERVE_CONNECT")) {
     const char* file = std::getenv("SLIDE_SERVE_QUERIES_FILE");
@@ -199,7 +317,9 @@ int main() {
                            static_cast<unsigned>(bench::env_size("SLIDE_BENCH_CLIENTS", 4)));
   }
 
-  bench::print_header("Serving latency: dynamic micro-batching vs per-request dispatch");
+  bench::print_header(chaos ? "Serving under chaos: deadlines, shedding, degradation"
+                            : "Serving latency: dynamic micro-batching vs per-request "
+                              "dispatch");
   set_log_level(LogLevel::Warn);  // keep the table clean
 
   bench::Workload w = bench::make_workload(baseline::PaperDataset::Amazon670k);
@@ -212,8 +332,6 @@ int main() {
   net.rebuild_hash_tables(&global_pool());
 
   const infer::PackedModel packed_fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
-  const infer::PackedModel packed_bf16 =
-      infer::PackedModel::freeze(net, Precision::Bf16All);
 
   const std::size_t total = bench::env_size("SLIDE_BENCH_QUERIES", 2000);
   const auto max_clients =
@@ -225,6 +343,15 @@ int main() {
   const std::size_t nq = std::min(w.test.size(), total);
   queries.reserve(nq);
   for (std::size_t i = 0; i < nq; ++i) queries.push_back(w.test.features(i));
+
+  if (chaos) {
+    infer::InferenceEngine engine(packed_fp32);
+    return run_chaos(engine, queries, total, max_clients,
+                     bench::env_size("SLIDE_BENCH_DEADLINE_US", 20000));
+  }
+
+  const infer::PackedModel packed_bf16 =
+      infer::PackedModel::freeze(net, Precision::Bf16All);
 
   std::printf("model: %zu params; %zu queries/cell; batch-max=%zu delay-us=%llu\n",
               packed_fp32.num_params(), total, batch_max,

@@ -39,6 +39,13 @@ void read_array(std::istream& in, T* data, std::size_t count) {
   if (!in) throw std::runtime_error("checkpoint: truncated array");
 }
 
+// Size of one serialized LayerConfig record (the fields written below, in
+// order).  The SLDP v2 reader reads this many raw bytes so it can checksum
+// the record before parsing it; keep it in sync with
+// write_layer_config/read_layer_config.
+inline constexpr std::size_t kLayerConfigWireBytes =
+    8 + 1 + 1 + 4 + 4 + 4 + 1 + 8 + 8 + 8 + 8 + 1;  // = 46
+
 inline void write_layer_config(std::ostream& out, const LayerConfig& cfg) {
   write_pod<std::uint64_t>(out, cfg.dim);
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cfg.activation));

@@ -9,12 +9,20 @@
 namespace slide::data {
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("XC parse error at line " + std::to_string(line_no) + ": " + what);
-}
+// Every parse error carries source:line so a malformed record in a
+// multi-gigabyte dataset file can be found (and fixed) directly.
+struct ParseContext {
+  const std::string& source;
+  std::size_t line_no = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("XC parse error at " + source + ":" +
+                             std::to_string(line_no) + ": " + what);
+  }
+};
 
 // Parses "a,b,c" into out; empty string leaves out empty.
-void parse_labels(const std::string& tok, std::size_t line_no,
+void parse_labels(const std::string& tok, const ParseContext& ctx,
                   std::vector<std::uint32_t>& out) {
   out.clear();
   const char* p = tok.data();
@@ -22,11 +30,11 @@ void parse_labels(const std::string& tok, std::size_t line_no,
   while (p < end) {
     std::uint32_t v = 0;
     const auto [next, ec] = std::from_chars(p, end, v);
-    if (ec != std::errc()) fail(line_no, "bad label list '" + tok + "'");
+    if (ec != std::errc()) ctx.fail("bad label list '" + tok + "'");
     out.push_back(v);
     p = next;
     if (p < end) {
-      if (*p != ',') fail(line_no, "expected ',' in label list '" + tok + "'");
+      if (*p != ',') ctx.fail("expected ',' in label list '" + tok + "'");
       ++p;
     }
   }
@@ -34,19 +42,22 @@ void parse_labels(const std::string& tok, std::size_t line_no,
 
 }  // namespace
 
-Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples) {
+Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples,
+                const std::string& source) {
   std::string line;
-  std::size_t line_no = 0;
+  ParseContext ctx{source};
 
   // Header.
-  if (!std::getline(in, line)) throw std::runtime_error("XC parse error: empty input");
-  ++line_no;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("XC parse error at " + source + ": empty input");
+  }
+  ++ctx.line_no;
   std::istringstream header(line);
   std::size_t declared_examples = 0, feature_dim = 0, label_dim = 0;
   if (!(header >> declared_examples >> feature_dim >> label_dim)) {
-    fail(line_no, "bad header '" + line + "'");
+    ctx.fail("bad header '" + line + "'");
   }
-  if (feature_dim == 0 || label_dim == 0) fail(line_no, "zero feature or label dimension");
+  if (feature_dim == 0 || label_dim == 0) ctx.fail("zero feature or label dimension");
 
   Dataset ds(feature_dim, label_dim, layout);
   const std::size_t limit =
@@ -58,7 +69,7 @@ Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples) {
   std::vector<float> values;
 
   while (ds.size() < limit && std::getline(in, line)) {
-    ++line_no;
+    ++ctx.line_no;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string tok;
@@ -71,35 +82,36 @@ Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples) {
     while (ls >> tok) {
       const auto colon = tok.find(':');
       if (first && colon == std::string::npos) {
-        parse_labels(tok, line_no, labels);
+        parse_labels(tok, ctx, labels);
         first = false;
         continue;
       }
       first = false;
       if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.size()) {
-        fail(line_no, "bad feature token '" + tok + "'");
+        ctx.fail("bad feature token '" + tok + "'");
       }
       std::uint32_t idx = 0;
       {
         const char* p = tok.data();
         const auto [next, ec] = std::from_chars(p, p + colon, idx);
         if (ec != std::errc() || next != p + colon) {
-          fail(line_no, "bad feature index in '" + tok + "'");
+          ctx.fail("bad feature index in '" + tok + "'");
         }
       }
       float val = 0.0f;
       try {
         val = std::stof(tok.substr(colon + 1));
       } catch (const std::exception&) {
-        fail(line_no, "bad feature value in '" + tok + "'");
+        ctx.fail("bad feature value in '" + tok + "'");
       }
-      if (idx >= feature_dim) fail(line_no, "feature index " + std::to_string(idx) +
-                                                " >= feature_dim");
+      if (idx >= feature_dim) {
+        ctx.fail("feature index " + std::to_string(idx) + " >= feature_dim");
+      }
       indices.push_back(idx);
       values.push_back(val);
     }
     for (const std::uint32_t l : labels) {
-      if (l >= label_dim) fail(line_no, "label " + std::to_string(l) + " >= label_dim");
+      if (l >= label_dim) ctx.fail("label " + std::to_string(l) + " >= label_dim");
     }
     // Deduplicate labels preserving order.
     std::vector<std::uint32_t> unique_labels;
@@ -117,7 +129,7 @@ Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples) {
 Dataset read_xc_file(const std::string& path, Layout layout, std::size_t max_examples) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open XC file: " + path);
-  return read_xc(in, layout, max_examples);
+  return read_xc(in, layout, max_examples, path);
 }
 
 void write_xc(std::ostream& out, const Dataset& ds) {

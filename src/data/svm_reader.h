@@ -16,11 +16,14 @@
 namespace slide::data {
 
 // Parses a stream in XC format.  Malformed headers or records throw
-// std::runtime_error with a line number.  Features are sorted and duplicate
-// coordinates summed; duplicate labels are removed.  `max_examples`
-// truncates large files (0 = no limit).
+// std::runtime_error carrying `source:line` context and the offending token
+// (e.g. "XC parse error at train.txt:3: bad feature token '12:'").
+// Features are sorted and duplicate coordinates summed; duplicate labels
+// are removed.  `max_examples` truncates large files (0 = no limit);
+// `source` names the stream in error messages.
 Dataset read_xc(std::istream& in, Layout layout = Layout::Coalesced,
-                std::size_t max_examples = 0);
+                std::size_t max_examples = 0,
+                const std::string& source = "<stream>");
 
 Dataset read_xc_file(const std::string& path, Layout layout = Layout::Coalesced,
                      std::size_t max_examples = 0);

@@ -1,13 +1,17 @@
 #include "infer/packed_model.h"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/serialize_io.h"
 #include "kernels/kernels.h"
 #include "lsh/dwta.h"
 #include "lsh/simhash.h"
 #include "threading/thread_pool.h"
+#include "util/crc32c.h"
 #include "util/rng.h"
 
 namespace slide::infer {
@@ -122,74 +126,176 @@ std::size_t PackedModel::arena_bytes() const {
   return total;
 }
 
+namespace {
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+// Reads a section's trailing CRC32C (v2 files) and compares it against the
+// checksum of the bytes just consumed.  `section` names the section in the
+// error, e.g. "layer 3 weights".
+void check_section_crc(std::istream& in, std::uint32_t computed,
+                       const std::string& section) {
+  const auto at = in.tellg();
+  const auto stored = io::read_pod<std::uint32_t>(in);
+  if (stored != computed) {
+    throw ModelIntegrityError("packed model: checksum mismatch in " + section +
+                              " section at offset " +
+                              std::to_string(static_cast<long long>(at)) +
+                              " (stored " + hex32(stored) + ", computed " +
+                              hex32(computed) + ")");
+  }
+}
+
+}  // namespace
+
 void PackedModel::save(std::ostream& out) const {
   io::write_pod(out, kMagic);
   io::write_pod(out, kPackedModelVersion);
-  io::write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(precision_));
-  io::write_pod<std::uint64_t>(out, input_dim_);
-  io::write_pod<std::uint64_t>(out, layers_.size());
+
+  // Header section: precision + dimensions, then its CRC.
+  const auto precision = static_cast<std::uint8_t>(precision_);
+  const std::uint64_t input_dim = input_dim_;
+  const std::uint64_t num_layers = layers_.size();
+  io::write_pod(out, precision);
+  io::write_pod(out, input_dim);
+  io::write_pod(out, num_layers);
+  std::uint32_t crc = util::crc32c(&precision, sizeof(precision));
+  crc = util::crc32c(&input_dim, sizeof(input_dim), crc);
+  crc = util::crc32c(&num_layers, sizeof(num_layers), crc);
+  io::write_pod(out, crc);
+
   for (const Layer& L : layers_) {
-    io::write_layer_config(out, L.cfg);
+    // Metadata section (config record + seed + biases) and its CRC.  The
+    // config record is staged through a stringstream so the checksum covers
+    // the exact wire bytes.
+    std::ostringstream staged;
+    io::write_layer_config(staged, L.cfg);
+    const std::string cfg_bytes = staged.str();
+    out.write(cfg_bytes.data(),
+              static_cast<std::streamsize>(cfg_bytes.size()));
     io::write_pod<std::uint64_t>(out, L.seed);
     io::write_array(out, L.bias.data(), L.bias.size());
+    std::uint32_t meta_crc = util::crc32c(cfg_bytes.data(), cfg_bytes.size());
+    meta_crc = util::crc32c(&L.seed, sizeof(L.seed), meta_crc);
+    meta_crc =
+        util::crc32c(L.bias.data(), L.bias.size() * sizeof(float), meta_crc);
+    io::write_pod(out, meta_crc);
+
+    // Weights section and its CRC.
+    std::uint32_t w_crc;
     if (precision_ == Precision::Bf16All) {
       io::write_array(out, L.w16.data(), L.w16.size());
+      w_crc = util::crc32c(L.w16.data(), L.w16.size() * sizeof(bf16));
     } else {
       io::write_array(out, L.w.data(), L.w.size());
+      w_crc = util::crc32c(L.w.data(), L.w.size() * sizeof(float));
     }
+    io::write_pod(out, w_crc);
   }
-  if (!out) throw std::runtime_error("packed model: write failed");
+  if (!out) throw ModelIoError("packed model: write failed");
 }
 
 PackedModel PackedModel::load(std::istream& in) {
-  if (io::read_pod<std::uint32_t>(in) != kMagic) {
-    throw std::runtime_error("packed model: bad magic");
-  }
-  if (io::read_pod<std::uint32_t>(in) != kPackedModelVersion) {
-    throw std::runtime_error("packed model: unsupported version");
-  }
-  PackedModel pm;
-  pm.precision_ = static_cast<Precision>(io::read_pod<std::uint8_t>(in));
-  pm.input_dim_ = io::read_pod<std::uint64_t>(in);
-  const std::uint64_t num_layers = io::read_pod<std::uint64_t>(in);
-  if (pm.input_dim_ == 0 || num_layers == 0) {
-    throw std::runtime_error("packed model: empty model");
-  }
-
-  std::size_t prev = pm.input_dim_;
-  for (std::uint64_t i = 0; i < num_layers; ++i) {
-    Layer L;
-    L.cfg = io::read_layer_config(in);
-    L.seed = io::read_pod<std::uint64_t>(in);
-    L.input_dim = prev;
-    L.dim = L.cfg.dim;
-    if (L.dim == 0) throw std::runtime_error("packed model: zero-width layer");
-    prev = L.dim;
-    L.bias.resize(L.dim);
-    io::read_array(in, L.bias.data(), L.dim);
-    const std::size_t total = L.dim * L.input_dim;
-    if (pm.precision_ == Precision::Bf16All) {
-      L.w16.resize(total);
-      io::read_array(in, L.w16.data(), total);
-    } else {
-      L.w.resize(total);
-      io::read_array(in, L.w.data(), total);
+  try {
+    if (io::read_pod<std::uint32_t>(in) != kMagic) {
+      throw ModelIntegrityError("packed model: bad magic");
     }
-    pm.layers_.push_back(std::move(L));
+    const auto version = io::read_pod<std::uint32_t>(in);
+    if (version < kMinPackedModelVersion || version > kPackedModelVersion) {
+      throw ModelIntegrityError("packed model: unsupported version " +
+                                std::to_string(version));
+    }
+    const bool checked = version >= 2;  // v1 carries no checksums
+
+    PackedModel pm;
+    const auto precision = io::read_pod<std::uint8_t>(in);
+    pm.precision_ = static_cast<Precision>(precision);
+    pm.input_dim_ = io::read_pod<std::uint64_t>(in);
+    const std::uint64_t num_layers = io::read_pod<std::uint64_t>(in);
+    if (checked) {
+      const std::uint64_t input_dim = pm.input_dim_;
+      std::uint32_t crc = util::crc32c(&precision, sizeof(precision));
+      crc = util::crc32c(&input_dim, sizeof(input_dim), crc);
+      crc = util::crc32c(&num_layers, sizeof(num_layers), crc);
+      check_section_crc(in, crc, "header");
+    }
+    if (precision > static_cast<std::uint8_t>(Precision::Bf16All)) {
+      throw ModelIntegrityError("packed model: invalid precision byte");
+    }
+    if (pm.input_dim_ == 0 || num_layers == 0) {
+      throw ModelIntegrityError("packed model: empty model");
+    }
+
+    std::size_t prev = pm.input_dim_;
+    for (std::uint64_t i = 0; i < num_layers; ++i) {
+      const std::string which = "layer " + std::to_string(i);
+      Layer L;
+      std::uint32_t meta_crc = 0;
+      if (checked) {
+        // Checksum the raw config record before trusting any field of it.
+        char cfg_bytes[io::kLayerConfigWireBytes];
+        in.read(cfg_bytes, sizeof(cfg_bytes));
+        if (!in) throw ModelIntegrityError("packed model: truncated " + which);
+        std::istringstream staged(std::string(cfg_bytes, sizeof(cfg_bytes)));
+        L.cfg = io::read_layer_config(staged);
+        meta_crc = util::crc32c(cfg_bytes, sizeof(cfg_bytes));
+      } else {
+        L.cfg = io::read_layer_config(in);
+      }
+      L.seed = io::read_pod<std::uint64_t>(in);
+      L.input_dim = prev;
+      L.dim = L.cfg.dim;
+      if (L.dim == 0) {
+        throw ModelIntegrityError("packed model: zero-width " + which);
+      }
+      prev = L.dim;
+      L.bias.resize(L.dim);
+      io::read_array(in, L.bias.data(), L.dim);
+      if (checked) {
+        meta_crc = util::crc32c(&L.seed, sizeof(L.seed), meta_crc);
+        meta_crc =
+            util::crc32c(L.bias.data(), L.bias.size() * sizeof(float), meta_crc);
+        check_section_crc(in, meta_crc, which + " metadata");
+      }
+
+      const std::size_t total = L.dim * L.input_dim;
+      std::uint32_t w_crc;
+      if (pm.precision_ == Precision::Bf16All) {
+        L.w16.resize(total);
+        io::read_array(in, L.w16.data(), total);
+        w_crc = util::crc32c(L.w16.data(), total * sizeof(bf16));
+      } else {
+        L.w.resize(total);
+        io::read_array(in, L.w.data(), total);
+        w_crc = util::crc32c(L.w.data(), total * sizeof(float));
+      }
+      if (checked) check_section_crc(in, w_crc, which + " weights");
+      pm.layers_.push_back(std::move(L));
+    }
+    pm.rebuild_lsh();
+    return pm;
+  } catch (const ModelIntegrityError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    // serialize_io reports truncation as a plain runtime_error; fold it
+    // into the integrity taxonomy so callers can branch on the type.
+    throw ModelIntegrityError(std::string("packed model: ") + e.what());
   }
-  pm.rebuild_lsh();
-  return pm;
 }
 
 void PackedModel::save_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("packed model: cannot open for writing: " + path);
+  if (!out) throw ModelIoError("packed model: cannot open for writing: " + path);
   save(out);
 }
 
 PackedModel PackedModel::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("packed model: cannot open: " + path);
+  if (!in) throw ModelIoError("packed model: cannot open: " + path);
   return load(in);
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,27 @@
 
 namespace slide::infer {
 
-// Format version written by PackedModel::save; load rejects others.
-inline constexpr std::uint32_t kPackedModelVersion = 1;
+// Format version written by PackedModel::save.  v2 appends a CRC32C after
+// each section (header, per-layer metadata, per-layer weights) so a
+// corrupted model file is rejected at load time with a precise location
+// instead of serving garbage weights.  load still accepts v1 files (no
+// checksums to verify).
+inline constexpr std::uint32_t kPackedModelVersion = 2;
+inline constexpr std::uint32_t kMinPackedModelVersion = 1;
+
+// The model file could not be opened/written at all (bad path, permissions,
+// full disk).  Distinct from corruption so callers can exit with different
+// diagnostics.
+class ModelIoError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// The model file was read but is not a valid SLDP payload: bad magic,
+// unsupported version, truncation, or a section checksum mismatch.  The
+// message names the failing section and stream offset.
+class ModelIntegrityError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class PackedModel {
  public:
@@ -80,11 +100,15 @@ class PackedModel {
   // Total weight/bias arena bytes (excludes the LSH tables).
   std::size_t arena_bytes() const;
 
-  // Binary round-trip ("SLDP" format).  Hash tables are not stored — they
-  // are a pure function of the packed weights and are rebuilt on load.
+  // Binary round-trip ("SLDP" format, v2: per-section CRC32C).  Hash
+  // tables are not stored — they are a pure function of the packed weights
+  // and are rebuilt on load.  save/save_file throw ModelIoError on write
+  // failure.
   void save(std::ostream& out) const;
   void save_file(const std::string& path) const;
-  // Throws std::runtime_error on malformed or truncated input.
+  // Throws ModelIntegrityError (a std::runtime_error) on malformed,
+  // truncated, or checksum-failing input; load_file additionally throws
+  // ModelIoError when the file cannot be opened.
   static PackedModel load(std::istream& in);
   static PackedModel load_file(const std::string& path);
 

@@ -1,12 +1,21 @@
 #include "serve/batching_server.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
 
 namespace slide::serve {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+constexpr auto kNoDeadline = Clock::time_point::max();
+// Batches between re-evaluations of the latency-based pressure signal (a
+// histogram snapshot merges every shard; too costly per batch).
+constexpr std::uint64_t kLatencyCheckInterval = 64;
 
 std::uint64_t micros_between(Clock::time_point a, Clock::time_point b) {
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
@@ -23,6 +32,14 @@ std::future<Reply> immediate_reply(RequestStatus status) {
 
 unsigned pool_width(ThreadPool* pool) {
   return (pool != nullptr ? *pool : global_pool()).size();
+}
+
+Clock::time_point deadline_from_budget(Clock::time_point now, std::uint64_t budget_us) {
+  if (budget_us == 0) return kNoDeadline;
+  const auto budget = std::chrono::microseconds(budget_us);
+  // Saturate instead of overflowing on absurd budgets.
+  if (kNoDeadline - now < budget) return kNoDeadline;
+  return now + budget;
 }
 }  // namespace
 
@@ -43,31 +60,72 @@ BatchingServer::BatchingServer(infer::InferenceEngine& engine, ServerConfig conf
 
 BatchingServer::~BatchingServer() { drain(); }
 
-std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_t k) {
+std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_t k,
+                                          std::uint64_t deadline_us) {
+  auto& faults = util::FaultInjector::instance();
+  if (faults.enabled() && faults.should_fail(util::FaultPoint::AdmissionFail)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return immediate_reply(RequestStatus::Rejected);
+  }
+
   Pending req;
   req.indices.assign(x.indices, x.indices + x.nnz);
   req.values.assign(x.values, x.values + x.nnz);
   req.k = k;
   req.enqueued = Clock::now();
+  req.deadline = deadline_from_budget(req.enqueued, deadline_us);
   std::future<Reply> future = req.promise.get_future();
 
+  Pending victim;
+  bool have_victim = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (config_.admission == Admission::Block) {
-      space_cv_.wait(lock, [&] {
+      const auto space = [&] {
         return stopping_.load(std::memory_order_relaxed) ||
                queue_.size() < config_.queue_capacity;
-      });
+      };
+      if (req.deadline == kNoDeadline) {
+        space_cv_.wait(lock, space);
+      } else if (!space_cv_.wait_until(lock, req.deadline, space)) {
+        // The producer's budget ran out while parked on a full queue.
+        expired_count_.fetch_add(1, std::memory_order_relaxed);
+        return immediate_reply(RequestStatus::DeadlineExceeded);
+      }
     }
     if (stopping_.load(std::memory_order_relaxed)) {
       return immediate_reply(RequestStatus::ShuttingDown);
     }
     if (queue_.size() >= config_.queue_capacity) {  // Reject mode: queue full
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return immediate_reply(RequestStatus::Rejected);
+      // Deadline-aware shedding: evict the queued request with the MOST
+      // remaining slack (no-deadline requests count as infinite slack) when
+      // the newcomer's deadline is strictly tighter — requests closest to
+      // their deadline are shed last.
+      auto victim_it = queue_.end();
+      if (config_.pressure.shed_by_deadline && req.deadline != kNoDeadline) {
+        victim_it = std::max_element(
+            queue_.begin(), queue_.end(),
+            [](const Pending& a, const Pending& b) { return a.deadline < b.deadline; });
+        if (victim_it != queue_.end() && victim_it->deadline <= req.deadline) {
+          victim_it = queue_.end();  // newcomer has no strictly tighter claim
+        }
+      }
+      if (victim_it == queue_.end()) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return immediate_reply(RequestStatus::Rejected);
+      }
+      victim = std::move(*victim_it);
+      queue_.erase(victim_it);
+      have_victim = true;
+      shed_.fetch_add(1, std::memory_order_relaxed);
     }
     queue_.push_back(std::move(req));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (have_victim) {
+    Reply r;
+    r.status = RequestStatus::Rejected;
+    victim.promise.set_value(std::move(r));
   }
   work_cv_.notify_one();
   return future;
@@ -84,9 +142,61 @@ void BatchingServer::drain() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+void BatchingServer::sweep_expired_locked(Clock::time_point now) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline <= now) {
+      expired_.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Clock::time_point BatchingServer::earliest_deadline_locked() const {
+  auto earliest = kNoDeadline;
+  for (const Pending& p : queue_) earliest = std::min(earliest, p.deadline);
+  return earliest;
+}
+
+void BatchingServer::publish_load_state(std::size_t backlog) {
+  if (config_.pressure.degrade_p99_us != 0 &&
+      batches_.load(std::memory_order_relaxed) % kLatencyCheckInterval == 0) {
+    latency_pressure_.store(
+        total_us_.snapshot().p99() >= config_.pressure.degrade_p99_us,
+        std::memory_order_relaxed);
+  }
+  const double fill =
+      config_.queue_capacity == 0
+          ? 1.0
+          : static_cast<double>(backlog) / static_cast<double>(config_.queue_capacity);
+  LoadState state = LoadState::Normal;
+  if (fill >= 1.0) {
+    state = LoadState::Saturated;
+  } else if ((config_.pressure.degrade_fill < 1.0 &&
+              fill >= config_.pressure.degrade_fill) ||
+             latency_pressure_.load(std::memory_order_relaxed)) {
+    state = LoadState::Pressure;
+  }
+  load_state_.store(static_cast<std::uint8_t>(state), std::memory_order_relaxed);
+}
+
 void BatchingServer::dispatcher_main() {
   std::vector<Pending> batch;
+  // Expired requests are swept under the lock but completed outside it (a
+  // promise fulfillment wakes a waiter; no reason to do that holding mutex_).
+  const auto complete_expired = [&] {
+    for (Pending& p : expired_) {
+      Reply r;
+      r.status = RequestStatus::DeadlineExceeded;
+      expired_count_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(std::move(r));
+    }
+    expired_.clear();
+  };
+
   for (;;) {
+    bool degraded = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -94,26 +204,53 @@ void BatchingServer::dispatcher_main() {
       });
       if (queue_.empty()) return;  // stopping and fully drained
 
+      auto now = Clock::now();
+      sweep_expired_locked(now);
+
       // Coalescing window: wait for the batch to fill, but never past the
-      // oldest request's deadline, and bail out as soon as arrivals stall —
-      // once every closed-loop client is parked in the queue waiting on us,
-      // further waiting is pure added latency.  Stall is checked once per
-      // tick (a fraction of the window, floored so the check itself stays
-      // cheap); draining flushes immediately.
-      const auto deadline = queue_.front().enqueued + delay_;
-      const auto stall_tick = std::max(delay_ / 8, std::chrono::microseconds(20));
-      std::size_t last_size = queue_.size();
-      while (queue_.size() < effective_batch_ &&
-             !stopping_.load(std::memory_order_relaxed)) {
-        const auto now = Clock::now();
-        if (now >= deadline) break;
-        work_cv_.wait_until(lock, std::min(deadline, now + stall_tick), [&] {
-          return queue_.size() >= effective_batch_ ||
-                 stopping_.load(std::memory_order_relaxed);
-        });
-        if (queue_.size() == last_size) break;  // no growth in a full tick
-        last_size = queue_.size();
+      // oldest request's window NOR the earliest queued deadline (a request
+      // must be shed the moment it expires, not a window later), and bail
+      // out as soon as arrivals stall — once every closed-loop client is
+      // parked in the queue waiting on us, further waiting is pure added
+      // latency.  Stall is checked once per tick (a fraction of the window,
+      // floored so the check itself stays cheap); draining flushes
+      // immediately.
+      if (!queue_.empty()) {
+        const auto window_end = queue_.front().enqueued + delay_;
+        const auto stall_tick = std::max(delay_ / 8, std::chrono::microseconds(20));
+        std::size_t last_size = queue_.size();
+        while (queue_.size() < effective_batch_ &&
+               !stopping_.load(std::memory_order_relaxed)) {
+          now = Clock::now();
+          // Recomputed every tick: new arrivals may carry tighter deadlines.
+          const auto wait_end = std::min(window_end, earliest_deadline_locked());
+          if (now >= wait_end) break;
+          work_cv_.wait_until(lock, std::min(wait_end, now + stall_tick), [&] {
+            return queue_.size() >= effective_batch_ ||
+                   stopping_.load(std::memory_order_relaxed);
+          });
+          if (queue_.size() == last_size) break;  // no growth in a full tick
+          last_size = queue_.size();
+        }
+        sweep_expired_locked(Clock::now());
       }
+
+      if (queue_.empty()) {
+        // Everything queued expired while coalescing; answer and re-wait.
+        lock.unlock();
+        space_cv_.notify_all();
+        complete_expired();
+        continue;
+      }
+
+      const std::size_t backlog = queue_.size();
+      publish_load_state(backlog);
+      // Graceful degradation: under pressure a Dense server answers from
+      // the LSH-sampled path — SLIDE's accuracy/speed tradeoff as a load
+      // lever.  Decided per batch, while the formation lock pins the state.
+      degraded = config_.pressure.allow_degrade &&
+                 config_.mode == infer::TopKMode::Dense &&
+                 load_state() != LoadState::Normal;
 
       // Pipelining: when not draining, cap the batch at half the backlog
       // (rounded up) so the queue is never swept empty — with the whole
@@ -121,7 +258,6 @@ void BatchingServer::dispatcher_main() {
       // idle dispatcher and each batch boundary pays a full drain-and-
       // refill convoy.  Leaving work queued keeps the dispatcher and the
       // producers overlapped.
-      const std::size_t backlog = queue_.size();
       std::size_t take = std::min(effective_batch_, backlog);
       if (!stopping_.load(std::memory_order_relaxed) && take == backlog && take > 1) {
         take = (backlog + 1) / 2;
@@ -134,15 +270,17 @@ void BatchingServer::dispatcher_main() {
       }
     }
     space_cv_.notify_all();
-    run_batch(batch);
+    complete_expired();
+    run_batch(batch, degraded);
   }
 }
 
-void BatchingServer::run_batch(std::vector<Pending>& batch) {
+void BatchingServer::run_batch(std::vector<Pending>& batch, bool degraded) {
   const auto formed = Clock::now();
   const std::size_t n = batch.size();
   std::size_t k = std::min<std::size_t>(config_.k, engine_.model().output_dim());
   k = std::max<std::size_t>(1, k);
+  const infer::TopKMode mode = degraded ? infer::TopKMode::Sampled : config_.mode;
 
   views_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -153,28 +291,56 @@ void BatchingServer::run_batch(std::vector<Pending>& batch) {
 
   ids_.resize(n * k);
   scores_.resize(n * k);
-  // The engine completes queries out of order across pool workers; the
-  // per-query callback hands each reply to its waiter the moment its row is
-  // final instead of after the whole batch (the partial-batch path).
-  engine_.predict_topk_batch(
-      views_, k, ids_.data(), scores_.data(), config_.mode, config_.pool,
-      [&](std::size_t q) {
-        Pending& req = batch[q];
-        const std::uint32_t* row = ids_.data() + q * k;
-        const float* srow = scores_.data() + q * k;
-        std::size_t count = k;
-        while (count > 0 && row[count - 1] == infer::InferenceEngine::kInvalidId) {
-          --count;
-        }
-        if (req.k != 0) count = std::min<std::size_t>(count, req.k);
-        Reply reply;
-        reply.status = RequestStatus::Ok;
-        reply.ids.assign(row, row + count);
-        reply.scores.assign(srow, srow + count);
-        total_us_.record(micros_between(req.enqueued, Clock::now()));
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        req.promise.set_value(std::move(reply));
-      });
+  // Tracks which requests the per-query callback has already answered, so
+  // an engine failure completes exactly the remainder (a promise must be
+  // fulfilled exactly once).
+  std::vector<std::atomic<bool>> answered(n);
+  try {
+    auto& faults = util::FaultInjector::instance();
+    if (faults.enabled()) {
+      faults.maybe_delay(util::FaultPoint::EngineDelay);
+      if (faults.should_fail(util::FaultPoint::EngineFail)) {
+        throw std::runtime_error("injected engine failure");
+      }
+    }
+    // The engine completes queries out of order across pool workers; the
+    // per-query callback hands each reply to its waiter the moment its row
+    // is final instead of after the whole batch (the partial-batch path).
+    engine_.predict_topk_batch(
+        views_, k, ids_.data(), scores_.data(), mode, config_.pool,
+        [&](std::size_t q) {
+          Pending& req = batch[q];
+          const std::uint32_t* row = ids_.data() + q * k;
+          const float* srow = scores_.data() + q * k;
+          std::size_t count = k;
+          while (count > 0 && row[count - 1] == infer::InferenceEngine::kInvalidId) {
+            --count;
+          }
+          if (req.k != 0) count = std::min<std::size_t>(count, req.k);
+          Reply reply;
+          reply.status = RequestStatus::Ok;
+          reply.degraded = degraded;
+          reply.ids.assign(row, row + count);
+          reply.scores.assign(srow, srow + count);
+          total_us_.record(micros_between(req.enqueued, Clock::now()));
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+          answered[q].store(true, std::memory_order_release);
+          req.promise.set_value(std::move(reply));
+        });
+  } catch (const std::exception& e) {
+    // Engine failure: the batch's unanswered requests get an error reply —
+    // callers never hang on a broken future and the dispatcher survives to
+    // serve the next batch.
+    log_error("serve: engine batch failed: ", e.what());
+    for (std::size_t q = 0; q < n; ++q) {
+      if (answered[q].load(std::memory_order_acquire)) continue;
+      Reply reply;
+      reply.status = RequestStatus::Error;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      batch[q].promise.set_value(std::move(reply));
+    }
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -183,10 +349,19 @@ ServerStats BatchingServer::stats() const {
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_count_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.avg_batch_size =
       s.batches == 0 ? 0.0
                      : static_cast<double>(s.completed) / static_cast<double>(s.batches);
+  {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mutex_));
+    s.queue_depth = queue_.size();
+  }
+  s.load = load_state();
   s.queue_us = queue_us_.snapshot();
   s.total_us = total_us_.snapshot();
   return s;

@@ -21,12 +21,34 @@
 //     is never swept empty and the dispatcher stays overlapped with
 //     clients that are resubmitting.
 //
+// Deadlines: a request may carry a microsecond budget (deadline_us;
+// 0 = none).  Expired requests are shed with RequestStatus::DeadlineExceeded
+// BEFORE dispatch — the engine never burns kernel time on an answer nobody
+// is waiting for — and the coalescing wait never sleeps past the earliest
+// deadline in the queue, so expiry is detected promptly, not at the end of
+// the batch window.
+//
+// Load shedding with graceful degradation: the dispatcher derives a
+// ServerLoadState from queue fill (and optionally the p99 of the latency
+// histogram).  Under LoadState::Pressure a Dense-mode server downgrades
+// batches to the LSH-sampled path — the paper's own accuracy/speed tradeoff
+// used as a degradation lever: an approximate answer beats a shed request.
+// Degraded replies are flagged.  When the queue is saturated (full),
+// admission sheds by remaining deadline: the queued request with the MOST
+// slack is evicted first to admit tighter-deadline work, so the
+// lowest-remaining-deadline requests are shed last.
+//
 // Backpressure: the queue is bounded by `queue_capacity`.  When full,
 // Admission::Reject completes the future immediately with
 // RequestStatus::Rejected (the TCP layer maps this to an Overloaded reply);
 // Admission::Block parks the producer until space frees up — bounded memory
 // either way, with the overload cost landing on either the client (Reject)
 // or the producer thread (Block).
+//
+// Fault tolerance: an engine failure (thrown exception — including ones
+// injected via util/fault_injection.h) completes the affected requests with
+// RequestStatus::Error instead of crashing or leaking futures; the
+// dispatcher survives and keeps serving subsequent batches.
 //
 // Lifecycle: drain() stops admission, serves every request already
 // accepted, then joins the dispatcher; the destructor drains implicitly.
@@ -54,13 +76,43 @@ namespace slide::serve {
 
 enum class Admission { Reject, Block };
 
+// Ordered by severity; the dispatcher publishes the current state after
+// every batch formation.
+enum class LoadState : std::uint8_t { Normal = 0, Pressure = 1, Saturated = 2 };
+
+inline const char* load_state_name(LoadState s) {
+  switch (s) {
+    case LoadState::Normal: return "normal";
+    case LoadState::Pressure: return "pressure";
+    case LoadState::Saturated: return "saturated";
+  }
+  return "?";
+}
+
 struct BatchPolicy {
   std::size_t max_batch_size = 64;
   std::uint64_t max_queue_delay_us = 200;
 };
 
+// Overload thresholds for graceful degradation and deadline-aware shedding.
+struct PressureConfig {
+  // Queue fill fraction at/above which the server is under Pressure and a
+  // Dense server degrades batches to the sampled path.  >= 1.0 disables
+  // fill-based degradation.
+  double degrade_fill = 0.75;
+  // Total-latency p99 (microseconds) that also trips Pressure; 0 disables.
+  // Re-evaluated periodically (histogram snapshots are not free).
+  std::uint64_t degrade_p99_us = 0;
+  // Master switch for the dense -> sampled downgrade.
+  bool allow_degrade = true;
+  // When the queue is full, evict the queued request with the most
+  // remaining deadline slack to admit tighter-deadline work.
+  bool shed_by_deadline = true;
+};
+
 struct ServerConfig {
   BatchPolicy policy;
+  PressureConfig pressure;
   std::size_t queue_capacity = 1024;
   Admission admission = Admission::Reject;
   std::size_t k = 5;                                // ids per reply (cap)
@@ -68,10 +120,17 @@ struct ServerConfig {
   ThreadPool* pool = nullptr;                       // engine fan-out; global when null
 };
 
-enum class RequestStatus : std::uint8_t { Ok = 0, Rejected = 1, ShuttingDown = 2 };
+enum class RequestStatus : std::uint8_t {
+  Ok = 0,
+  Rejected = 1,
+  ShuttingDown = 2,
+  DeadlineExceeded = 3,
+  Error = 4,  // engine failure; the request itself was well-formed
+};
 
 struct Reply {
   RequestStatus status = RequestStatus::Ok;
+  bool degraded = false;             // answered via the sampled path under load
   std::vector<std::uint32_t> ids;    // best-first, no kInvalidId padding
   std::vector<float> scores;         // matching logits
 };
@@ -81,10 +140,16 @@ struct Reply {
 // admission->completion (what a client observes minus transport).
 struct ServerStats {
   std::uint64_t accepted = 0;
-  std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;   // answered Ok (degraded or not)
+  std::uint64_t rejected = 0;    // bounced at admission (queue full)
+  std::uint64_t shed = 0;        // evicted from the queue to admit tighter work
+  std::uint64_t expired = 0;     // deadline passed before dispatch
+  std::uint64_t degraded = 0;    // served via the sampled path under pressure
+  std::uint64_t errors = 0;      // engine failures surfaced as RequestStatus::Error
   std::uint64_t batches = 0;
   double avg_batch_size = 0.0;
+  std::size_t queue_depth = 0;
+  LoadState load = LoadState::Normal;
   util::HistogramSnapshot queue_us;
   util::HistogramSnapshot total_us;
 };
@@ -100,13 +165,19 @@ class BatchingServer {
   // Thread-safe.  Copies the query (the caller's buffers may die as soon as
   // submit returns).  A request with k == 0 serves the configured k;
   // otherwise the reply holds min(k, config.k, output_dim) entries.
-  std::future<Reply> submit(data::SparseVectorView x, std::uint32_t k = 0);
+  // deadline_us is the request's budget from this call (0 = no deadline);
+  // once it expires the reply is RequestStatus::DeadlineExceeded.
+  std::future<Reply> submit(data::SparseVectorView x, std::uint32_t k = 0,
+                            std::uint64_t deadline_us = 0);
 
   // Stops admission, completes everything already accepted, joins the
   // dispatcher.  Idempotent; safe to race with submitters.
   void drain();
 
   bool draining() const { return stopping_.load(std::memory_order_acquire); }
+  LoadState load_state() const {
+    return static_cast<LoadState>(load_state_.load(std::memory_order_relaxed));
+  }
   const ServerConfig& config() const { return config_; }
   const infer::InferenceEngine& engine() const { return engine_; }
   ServerStats stats() const;
@@ -117,16 +188,25 @@ class BatchingServer {
     std::vector<float> values;
     std::uint32_t k = 0;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
     std::promise<Reply> promise;
   };
 
   void dispatcher_main();
-  void run_batch(std::vector<Pending>& batch);
+  void run_batch(std::vector<Pending>& batch, bool degraded);
+  // Moves expired requests out of the queue into `expired_` (caller
+  // completes them outside the lock).  Requires mutex_ held.
+  void sweep_expired_locked(std::chrono::steady_clock::time_point now);
+  // Earliest deadline currently queued (time_point::max() when none).
+  // Requires mutex_ held.
+  std::chrono::steady_clock::time_point earliest_deadline_locked() const;
+  void publish_load_state(std::size_t backlog);
 
   // Dispatcher-thread-only scratch, reused across batches.
   std::vector<data::SparseVectorView> views_;
   std::vector<std::uint32_t> ids_;
   std::vector<float> scores_;
+  std::vector<Pending> expired_;  // swept-out requests awaiting completion
 
   infer::InferenceEngine& engine_;
   const ServerConfig config_;
@@ -147,7 +227,15 @@ class BatchingServer {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_count_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint8_t> load_state_{0};
+  // Latency-tripped pressure, re-evaluated every kLatencyCheckInterval
+  // batches (a histogram snapshot merges every shard; too costly per batch).
+  std::atomic<bool> latency_pressure_{false};
   util::ShardedHistogram queue_us_;
   util::ShardedHistogram total_us_;
 };

@@ -1,11 +1,14 @@
 #include "serve/tcp_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -13,60 +16,144 @@
 #include <thread>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace slide::serve {
 
 namespace {
 
-// EINTR-safe full-buffer read; false on EOF/error before `n` bytes.
-bool read_full(int fd, void* buf, std::size_t n) {
+enum class IoResult { Ok, Eof, Timeout, Error };
+
+// Waits (EINTR-safe) until `fd` is ready for `events`.  timeout_ms <= 0
+// blocks forever.  Ok / Timeout / Error.
+IoResult wait_ready(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (r > 0) return IoResult::Ok;
+    if (r == 0) return IoResult::Timeout;
+    if (errno != EINTR) return IoResult::Error;
+  }
+}
+
+// EINTR-safe full-buffer read.  timeout_ms > 0 bounds the wait for EACH
+// chunk via poll (so the overall call finishes unless the peer keeps
+// trickling bytes); EAGAIN from a socket-level receive timeout maps to
+// Timeout as well.
+IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms = 0) {
   auto* p = static_cast<std::uint8_t*>(buf);
   while (n > 0) {
+    if (timeout_ms > 0) {
+      const IoResult ready = wait_ready(fd, POLLIN, timeout_ms);
+      if (ready != IoResult::Ok) return ready;
+    }
     const ssize_t got = ::recv(fd, p, n, 0);
-    if (got == 0) return false;
+    if (got == 0) return IoResult::Eof;
     if (got < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
+      return IoResult::Error;
     }
     p += got;
     n -= static_cast<std::size_t>(got);
   }
-  return true;
+  return IoResult::Ok;
 }
 
-bool write_full(int fd, const void* buf, std::size_t n) {
+IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms = 0) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   while (n > 0) {
+    if (timeout_ms > 0) {
+      const IoResult ready = wait_ready(fd, POLLOUT, timeout_ms);
+      if (ready != IoResult::Ok) return ready;
+    }
     const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
     if (put < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
+      return IoResult::Error;
     }
     p += put;
     n -= static_cast<std::size_t>(put);
   }
-  return true;
+  return IoResult::Ok;
 }
 
-bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload,
+                 int timeout_ms = 0) {
   const auto len = static_cast<std::uint32_t>(payload.size());
-  return write_full(fd, &len, sizeof(len)) &&
-         write_full(fd, payload.data(), payload.size());
+  return write_full(fd, &len, sizeof(len), timeout_ms) == IoResult::Ok &&
+         write_full(fd, payload.data(), payload.size(), timeout_ms) == IoResult::Ok;
 }
 
-// false on clean EOF or transport error; oversized frames throw to kill the
+// Reads one frame.  Eof = clean close before a header; Timeout = the peer
+// went idle (or stalled mid-frame); oversized frames throw to kill the
 // connection (the peer is not speaking our protocol).
-bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+IoResult read_frame(int fd, std::vector<std::uint8_t>& payload, int timeout_ms = 0) {
   std::uint32_t len = 0;
-  if (!read_full(fd, &len, sizeof(len))) return false;
+  const IoResult header = read_full(fd, &len, sizeof(len), timeout_ms);
+  if (header != IoResult::Ok) return header;
   if (len > kMaxPayloadBytes) throw std::runtime_error("oversized frame");
   payload.resize(len);
-  return len == 0 || read_full(fd, payload.data(), len);
+  if (len == 0) return IoResult::Ok;
+  const IoResult body = read_full(fd, payload.data(), len, timeout_ms);
+  // A clean close mid-frame is still a broken peer, not a graceful EOF.
+  return body == IoResult::Eof ? IoResult::Error : body;
 }
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void enable_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Non-blocking connect with a poll-bounded wait, restored to blocking mode
+// on success.  Returns the connected fd; throws on failure/timeout.
+int connect_with_timeout(const std::string& host, std::uint16_t port,
+                         int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad server address: " + host);
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect " + host);
+    }
+    if (wait_ready(fd, POLLOUT, timeout_ms) != IoResult::Ok) {
+      ::close(fd);
+      throw std::runtime_error("connect " + host + ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      throw_errno("connect " + host);
+    }
+  }
+  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags);
+  enable_nodelay(fd);
+  return fd;
 }
 
 }  // namespace
@@ -153,8 +240,7 @@ void TcpServer::accept_main() {
       log_warn("serve: accept failed: ", std::strerror(errno));
       return;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    enable_nodelay(fd);
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
@@ -179,40 +265,72 @@ static bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim
 
 void TcpServer::connection_main(int fd) {
   const std::size_t input_dim = server_.engine().model().input_dim();
+  const int idle_ms = config_.idle_timeout_ms;
+  auto& faults = util::FaultInjector::instance();
   std::vector<std::uint8_t> payload;
   QueryRequest req;
   try {
-    while (read_frame(fd, payload)) {
+    for (;;) {
+      const IoResult got = read_frame(fd, payload, idle_ms);
+      if (got == IoResult::Timeout) {
+        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        log_info("serve: closing idle connection");
+        break;
+      }
+      if (got != IoResult::Ok) break;  // clean EOF or broken peer
       std::string reason;
       const Status parsed = decode_query(payload, req, &reason);
       if (parsed != Status::Ok) {
-        if (!write_frame(fd, encode_error_reply(parsed, reason))) break;
+        if (!write_frame(fd, encode_error_reply(parsed, reason), idle_ms)) break;
         continue;
       }
       if (!valid_feature_indices(req, input_dim)) {
-        if (!write_frame(fd, encode_error_reply(
-                                 Status::BadRequest,
-                                 "feature indices must be strictly increasing "
-                                 "and below the model input dim"))) {
+        if (!write_frame(fd,
+                         encode_error_reply(
+                             Status::BadRequest,
+                             "feature indices must be strictly increasing "
+                             "and below the model input dim"),
+                         idle_ms)) {
           break;
         }
         continue;
       }
       data::SparseVectorView view{req.indices.data(), req.values.data(),
                                   req.indices.size()};
-      Reply reply = server_.submit(view, req.k).get();
+      Reply reply = server_.submit(view, req.k, req.deadline_us).get();
+      if (faults.enabled()) {
+        if (faults.should_fail(util::FaultPoint::SocketDrop)) {
+          log_warn("serve: fault injection dropped a connection");
+          break;
+        }
+        faults.maybe_delay(util::FaultPoint::SocketStall);
+      }
       bool sent = false;
       switch (reply.status) {
         case RequestStatus::Ok:
-          sent = write_frame(fd, encode_reply(reply.ids, reply.scores));
+          sent = write_frame(fd, encode_reply(reply.ids, reply.scores, reply.degraded),
+                             idle_ms);
           break;
         case RequestStatus::Rejected:
           sent = write_frame(
-              fd, encode_error_reply(Status::Overloaded, "queue full, retry later"));
+              fd, encode_error_reply(Status::Overloaded, "queue full, retry later"),
+              idle_ms);
           break;
         case RequestStatus::ShuttingDown:
           sent = write_frame(
-              fd, encode_error_reply(Status::ShuttingDown, "server is draining"));
+              fd, encode_error_reply(Status::ShuttingDown, "server is draining"),
+              idle_ms);
+          break;
+        case RequestStatus::DeadlineExceeded:
+          sent = write_frame(fd,
+                             encode_error_reply(Status::DeadlineExceeded,
+                                                "deadline expired before dispatch"),
+                             idle_ms);
+          break;
+        case RequestStatus::Error:
+          sent = write_frame(
+              fd, encode_error_reply(Status::InternalError, "engine failure"),
+              idle_ms);
           break;
       }
       if (!sent) break;
@@ -235,24 +353,17 @@ void TcpServer::connection_main(int fd) {
   ::close(fd);
 }
 
-TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("bad server address: " + host);
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw_errno("connect " + host);
-  }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+TcpClient::TcpClient(const std::string& host, std::uint16_t port,
+                     TcpClientConfig config)
+    : host_(host),
+      port_(port),
+      config_(config),
+      // Jitter seed: cheap entropy from the clock + this object's address;
+      // retry jitter only has to decorrelate concurrent clients.
+      rng_(static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count()) ^
+           reinterpret_cast<std::uintptr_t>(this) ^ 0x9E3779B97F4A7C15ull) {
+  fd_ = connect_with_timeout(host_, port_, config_.connect_timeout_ms);
 }
 
 TcpClient::~TcpClient() { close(); }
@@ -264,16 +375,63 @@ void TcpClient::close() {
   }
 }
 
-bool TcpClient::query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply) {
-  return round_trip_raw(encode_query({x.indices, x.nnz}, {x.values, x.nnz}, k), reply);
+bool TcpClient::reconnect() {
+  close();
+  try {
+    fd_ = connect_with_timeout(host_, port_, config_.connect_timeout_ms);
+  } catch (const std::exception&) {
+    return false;
+  }
+  ++reconnects_;
+  return true;
+}
+
+bool TcpClient::query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply,
+                      std::uint64_t deadline_us) {
+  return round_trip_raw(
+      encode_query({x.indices, x.nnz}, {x.values, x.nnz}, k, deadline_us), reply);
+}
+
+bool TcpClient::query_with_retry(data::SparseVectorView x, std::uint32_t k,
+                                 QueryReply& reply, std::uint64_t deadline_us) {
+  const int attempts = 1 + std::max(0, config_.max_retries);
+  int backoff_ms = std::max(1, config_.backoff_initial_ms);
+  bool got_reply = false;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with jitter: uniform in [backoff/2, backoff],
+      // so synchronized clients don't re-stampede an overloaded server.
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      const int base = backoff_ms / 2;
+      const int sleep_ms =
+          base + static_cast<int>(rng_ % static_cast<std::uint64_t>(
+                                             std::max(1, backoff_ms - base + 1)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff_ms = std::min(backoff_ms * 2, std::max(1, config_.backoff_max_ms));
+    }
+    if (!connected() && !reconnect()) continue;  // server may still be coming back
+    if (!query(x, k, reply, deadline_us)) {
+      // Transport failure (reset, timeout, bad frame): half-open; the next
+      // attempt reconnects.
+      close();
+      continue;
+    }
+    got_reply = true;
+    if (!status_is_retryable(reply.status)) return true;
+  }
+  // Either every attempt died at the transport level (false) or the last
+  // decoded reply was still retryable — hand that status to the caller.
+  return got_reply;
 }
 
 bool TcpClient::round_trip_raw(const std::vector<std::uint8_t>& payload,
                                QueryReply& reply) {
-  if (fd_ < 0 || !write_frame(fd_, payload)) return false;
+  if (fd_ < 0 || !write_frame(fd_, payload, config_.io_timeout_ms)) return false;
   std::vector<std::uint8_t> in;
   try {
-    if (!read_frame(fd_, in)) return false;
+    if (read_frame(fd_, in, config_.io_timeout_ms) != IoResult::Ok) return false;
   } catch (const std::exception&) {
     return false;
   }

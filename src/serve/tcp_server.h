@@ -7,6 +7,21 @@
 // (batching, engine fan-out) happens behind the BatchingServer, so a
 // connection thread is just parse -> submit -> wait -> reply.
 //
+// Robustness:
+//   * All socket I/O goes through unified EINTR-safe read_full/write_full
+//     helpers with optional poll-based timeouts.
+//   * A connection idle longer than `idle_timeout_ms` (no new frame, or a
+//     peer stalled mid-frame) is closed cleanly, so abandoned clients can't
+//     pin connection threads forever.
+//   * Malformed frames (bad version, nnz mismatch, trailing bytes) get a
+//     BadRequest reply and the connection stays usable; an oversized length
+//     prefix closes the connection (the peer is not speaking our protocol).
+//   * Request deadlines ride through to the BatchingServer; expired
+//     requests come back as Status::DeadlineExceeded, degraded answers are
+//     flagged in the reply, engine failures map to InternalError.
+//   * util/fault_injection.h hooks (sock-drop, sock-stall) let chaos tests
+//     exercise dropped and delayed replies without a flaky network.
+//
 // stop() closes the listener and shuts down every live connection socket
 // (unblocking their reads), joins all threads, then drains the batching
 // core — so every accepted query is answered before the process exits.
@@ -28,6 +43,9 @@ struct TcpServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
   int backlog = 64;
+  // Close a connection after this long with no complete frame activity
+  // (also bounds how long a peer may stall mid-frame).  0 = no timeout.
+  int idle_timeout_ms = 0;
 };
 
 class TcpServer {
@@ -48,6 +66,9 @@ class TcpServer {
   std::uint64_t connections_accepted() const {
     return connections_.load(std::memory_order_relaxed);
   }
+  std::uint64_t idle_closed() const {
+    return idle_closed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void accept_main();
@@ -60,6 +81,7 @@ class TcpServer {
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
   std::mutex stop_mutex_;  // serializes concurrent stop() calls on the joins
   std::thread accept_thread_;
   std::mutex conn_mutex_;            // guards open_fds_ / threads_
@@ -67,29 +89,68 @@ class TcpServer {
   std::vector<std::thread> threads_;
 };
 
+// Client-side fault-tolerance knobs.  Timeouts are per I/O call, not per
+// logical query; 0 disables the respective timeout (fully blocking).
+struct TcpClientConfig {
+  int connect_timeout_ms = 5000;
+  int io_timeout_ms = 5000;  // bounds each send/recv inside one round trip
+  // query_with_retry: attempts = 1 + max_retries, exponential backoff with
+  // jitter between attempts, starting at backoff_initial_ms and capped at
+  // backoff_max_ms.
+  int max_retries = 3;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+};
+
 // Blocking client for one TCP connection; used by the bench load generator,
 // the CI loopback smoke test, and test_serving.  Not thread-safe: one
 // client per client thread.
+//
+// A transport failure (timeout, reset, malformed reply) leaves the client
+// half-open: fd closed, host/port retained.  query_with_retry() reconnects
+// and retries transparently; plain query() just reports false and leaves
+// the reconnect decision to the caller (via reconnect()).
 class TcpClient {
  public:
-  TcpClient(const std::string& host, std::uint16_t port);  // throws on failure
+  // Throws std::runtime_error if the initial connect fails/times out.
+  TcpClient(const std::string& host, std::uint16_t port, TcpClientConfig config = {});
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
   // One framed round trip.  Returns false only on a transport/framing
-  // failure (closed socket, malformed reply); protocol-level errors come
-  // back in reply.status.
-  bool query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply);
+  // failure (closed socket, timeout, malformed reply) — the connection is
+  // then closed (half-open); protocol-level errors come back in
+  // reply.status.  deadline_us rides the wire to the server (0 = none).
+  bool query(data::SparseVectorView x, std::uint32_t k, QueryReply& reply,
+             std::uint64_t deadline_us = 0);
+
+  // query() plus the retry loop: reconnects after transport failures and
+  // retries retryable statuses (Overloaded) with exponential backoff +
+  // jitter.  True once a reply is decoded (its status may still be any
+  // retryable status if every attempt bounced); false when every attempt
+  // failed at the transport level.
+  bool query_with_retry(data::SparseVectorView x, std::uint32_t k, QueryReply& reply,
+                        std::uint64_t deadline_us = 0);
+
   // Sends raw payload bytes as one frame and reads one reply frame; lets
   // tests exercise the server's malformed-request handling.
   bool round_trip_raw(const std::vector<std::uint8_t>& payload, QueryReply& reply);
 
+  bool connected() const { return fd_ >= 0; }
+  bool reconnect();  // close + fresh connect; false (not throw) on failure
   void close();
 
+  std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  std::string host_;
+  std::uint16_t port_ = 0;
+  TcpClientConfig config_;
   int fd_ = -1;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t rng_;  // backoff jitter
 };
 
 }  // namespace slide::serve

@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the per-section
+// integrity checksum of the SLDP v2 packed-model format.
+//
+// Software slice-by-8 implementation: no ISA dependency (the model file may
+// be written on one machine class and loaded on another), ~1 byte/cycle,
+// which is far faster than the disk reads it guards.  Checksums compose:
+// crc32c(b, crc32c(a)) == crc32c(a+b), so section checks stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slide::util {
+
+// CRC of `n` bytes at `data`, continuing from `seed` (0 starts a new sum).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace slide::util

@@ -1,0 +1,86 @@
+// Process-wide fault injector for the serving stack's chaos testing.
+//
+// Compiled in unconditionally: every hook site costs one relaxed atomic
+// load when no fault is armed, so production binaries carry the machinery
+// for free and `SLIDE_FAULTS` can arm it on any deployment without a
+// rebuild.  Armed points fire probabilistically; a point may also carry a
+// microsecond parameter (delays) and a trigger budget (fire exactly N
+// times, then disarm — what deterministic tests use).
+//
+// Env syntax (parsed once, at first use):
+//   SLIDE_FAULTS="engine-delay=0.5:2000,engine-fail=0.02,sock-drop=0.01"
+//   point '=' probability [':' param_us [':' max_triggers]]
+//
+// Points:
+//   engine-delay     sleep param_us before the engine batch call
+//   engine-fail      fail the engine batch call (requests get an error reply)
+//   sock-drop        server drops the connection instead of replying
+//   sock-stall       server sleeps param_us before writing a reply
+//   admission-fail   request admission behaves as if allocation failed
+//
+// Thread-safe throughout; tests reconfigure points between phases via
+// set()/reset().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace slide::util {
+
+enum class FaultPoint : unsigned {
+  EngineDelay = 0,
+  EngineFail,
+  SocketDrop,
+  SocketStall,
+  AdmissionFail,
+  kCount,
+};
+
+const char* fault_point_name(FaultPoint p);
+
+class FaultInjector {
+ public:
+  static constexpr std::size_t kNumPoints = static_cast<std::size_t>(FaultPoint::kCount);
+
+  // Singleton; first call parses SLIDE_FAULTS (a malformed spec logs a
+  // warning and leaves everything disarmed).
+  static FaultInjector& instance();
+
+  // Arms `p`: fires with `probability` per should_fail() call, sleeping
+  // `param_us` at delay-type points.  `max_triggers` > 0 disarms the point
+  // after that many fires (0 = unlimited).  probability <= 0 disarms.
+  void set(FaultPoint p, double probability, std::uint64_t param_us = 0,
+           std::uint64_t max_triggers = 0);
+  void reset();  // disarm every point (counters keep their totals)
+
+  // Parses the SLIDE_FAULTS syntax above.  False + *error on bad input, in
+  // which case nothing changed.
+  bool configure(const std::string& spec, std::string* error = nullptr);
+
+  // The cheap guard every hook site checks first.
+  bool enabled() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  // Rolls the point's dice; true means the caller must fail.  Counts fires.
+  bool should_fail(FaultPoint p);
+  // should_fail() plus the sleep for delay-type points; true if it fired.
+  bool maybe_delay(FaultPoint p);
+
+  std::uint64_t triggered(FaultPoint p) const;
+
+ private:
+  FaultInjector();
+
+  struct Point {
+    std::atomic<double> probability{0.0};
+    std::atomic<std::uint64_t> param_us{0};
+    std::atomic<std::int64_t> remaining{-1};  // -1 = unlimited
+    std::atomic<std::uint64_t> triggered{0};
+  };
+
+  Point points_[kNumPoints];
+  std::atomic<int> armed_{0};  // count of points with probability > 0
+  std::atomic<std::uint64_t> seed_seq_{0x5EEDFA17u};
+};
+
+}  // namespace slide::util

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/network.h"
+#include "core/serialize_io.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "infer/engine.h"
@@ -389,7 +390,7 @@ TEST(PackedModel, ConcurrentQueriesMatchNetworkExactly) {
 
 TEST(PackedModel, LoadRejectsGarbageAndWrongVersion) {
   std::stringstream garbage("not a packed model at all");
-  EXPECT_THROW(infer::PackedModel::load(garbage), std::runtime_error);
+  EXPECT_THROW(infer::PackedModel::load(garbage), infer::ModelIntegrityError);
 
   const Network net = trained_network();
   std::stringstream buffer;
@@ -397,10 +398,105 @@ TEST(PackedModel, LoadRejectsGarbageAndWrongVersion) {
   std::string bytes = buffer.str();
   bytes[4] = 77;  // version field follows the 4-byte magic
   std::stringstream bad(bytes);
-  EXPECT_THROW(infer::PackedModel::load(bad), std::runtime_error);
+  EXPECT_THROW(infer::PackedModel::load(bad), infer::ModelIntegrityError);
 
   std::stringstream truncated(bytes.substr(0, bytes.size() / 3));
-  EXPECT_THROW(infer::PackedModel::load(truncated), std::runtime_error);
+  EXPECT_THROW(infer::PackedModel::load(truncated), infer::ModelIntegrityError);
+}
+
+TEST(PackedModel, LoadDetectsSingleFlippedWeightByte) {
+  const Network net = trained_network();
+  std::stringstream buffer;
+  infer::PackedModel::freeze(net).save(buffer);
+  std::string bytes = buffer.str();
+
+  // Flip one byte deep in the payload (a layer's weight arena): v1 would
+  // happily serve the corrupted weights; v2's section checksum must refuse,
+  // and the error must say which section failed.
+  bytes[bytes.size() / 2] ^= 0x01;
+  std::stringstream corrupt(bytes);
+  try {
+    infer::PackedModel::load(corrupt);
+    FAIL() << "expected ModelIntegrityError";
+  } catch (const infer::ModelIntegrityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("layer"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
+TEST(PackedModel, LoadDetectsCorruptHeaderAndMetadata) {
+  const Network net = trained_network();
+  std::stringstream buffer;
+  infer::PackedModel::freeze(net).save(buffer);
+  const std::string bytes = buffer.str();
+
+  {
+    // Header section: input_dim (u64 after magic+version+precision byte).
+    std::string mutated = bytes;
+    mutated[4 + 4 + 1] ^= 0x04;
+    std::stringstream in(mutated);
+    try {
+      infer::PackedModel::load(in);
+      FAIL() << "expected ModelIntegrityError";
+    } catch (const infer::ModelIntegrityError& e) {
+      EXPECT_NE(std::string(e.what()).find("header"), std::string::npos) << e.what();
+    }
+  }
+  {
+    // Layer 0 metadata: a byte of the hash seed (follows the config record).
+    // The seed carries no structural constraints, so only the section CRC
+    // can catch the flip.
+    std::string mutated = bytes;
+    mutated[4 + 4 + 17 + 4 + io::kLayerConfigWireBytes] ^= 0x10;
+    std::stringstream in(mutated);
+    try {
+      infer::PackedModel::load(in);
+      FAIL() << "expected ModelIntegrityError";
+    } catch (const infer::ModelIntegrityError& e) {
+      EXPECT_NE(std::string(e.what()).find("metadata"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(PackedModel, LoadAcceptsVersion1FilesWithoutChecksums) {
+  // A v1 file is the v2 byte stream with the version stamped back and every
+  // CRC word spliced out; load must still parse it (legacy models).
+  const Network net = trained_network();
+  const infer::PackedModel pm = infer::PackedModel::freeze(net);
+  std::stringstream buffer;
+  pm.save(buffer);
+  const std::string v2 = buffer.str();
+
+  std::string v1;
+  std::size_t at = 0;
+  const auto take = [&](std::size_t n) {
+    v1.append(v2, at, n);
+    at += n;
+  };
+  const auto skip_crc = [&] { at += 4; };
+  take(4);  // magic
+  v1 += '\x01';
+  v1.append(3, '\0');  // version u32 = 1
+  at += 4;
+  take(1 + 8 + 8);  // header section
+  skip_crc();
+  for (std::size_t i = 0; i < pm.num_layers(); ++i) {
+    const auto& L = pm.layer(i);
+    take(io::kLayerConfigWireBytes + 8 +
+         L.bias.size() * sizeof(float));  // config + seed + biases
+    skip_crc();
+    take(L.w.size() * sizeof(float) + L.w16.size() * sizeof(bf16));
+    skip_crc();
+  }
+  ASSERT_EQ(at, v2.size());
+
+  std::stringstream in(v1);
+  const infer::PackedModel back = infer::PackedModel::load(in);
+  EXPECT_EQ(back.num_params(), pm.num_params());
+  EXPECT_EQ(0, std::memcmp(back.layer(0).w.data(), pm.layer(0).w.data(),
+                           pm.layer(0).w.size() * sizeof(float)));
 }
 
 TEST(PackedModel, FileRoundTrip) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -109,7 +110,7 @@ TEST(SvmReader, RejectsMalformedFeatureToken) {
   }
 }
 
-TEST(SvmReader, ErrorMessageContainsLineNumber) {
+TEST(SvmReader, ErrorMessageContainsSourceAndLineNumber) {
   std::istringstream in(
       "2 10 4\n"
       "0 1:1.0\n"
@@ -118,7 +119,43 @@ TEST(SvmReader, ErrorMessageContainsLineNumber) {
     read_xc(in);
     FAIL() << "expected parse error";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    // source:line context, default source name, and the offending token.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<stream>:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("'bad'"), std::string::npos) << what;
+  }
+}
+
+TEST(SvmReader, ErrorMessageHonorsCustomSourceName) {
+  std::istringstream in(
+      "1 10 4\n"
+      "0 5:\n");
+  try {
+    read_xc(in, Layout::Coalesced, 0, "train.txt");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("train.txt:2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SvmReader, FileErrorNamesTheFile) {
+  // A corrupt fixture written to disk must come back as path:line so the
+  // bad record can be found in a multi-gigabyte dataset.
+  const std::string path = ::testing::TempDir() + "/slide_corrupt_fixture.txt";
+  {
+    std::ofstream out(path);
+    out << "3 10 4\n"
+        << "0 1:1.0\n"
+        << "1 2:1.0 11:0.5\n"  // feature index 11 >= feature_dim 10
+        << "2 3:1.0\n";
+  }
+  try {
+    read_xc_file(path);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("feature index 11"), std::string::npos) << what;
   }
 }
 

@@ -20,6 +20,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +41,7 @@
 #include "serve/batching_server.h"
 #include "serve/tcp_server.h"
 #include "threading/thread_pool.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -369,6 +372,13 @@ int cmd_predict(int argc, const char* const* argv) {
 volatile std::sig_atomic_t g_shutdown_signal = 0;
 extern "C" void handle_shutdown_signal(int) { g_shutdown_signal = 1; }
 
+// Distinct exit codes so supervisors can tell a corrupt model from a taken
+// port without parsing stderr.
+constexpr int kServeExitUsage = 1;
+constexpr int kServeExitModelUnreadable = 2;  // bad path / permissions
+constexpr int kServeExitModelCorrupt = 3;     // bad magic/version/checksum
+constexpr int kServeExitBindFailure = 4;      // bind/listen failed
+
 int cmd_serve(int argc, const char* const* argv) {
   cli::ArgParser args("slide_cli serve: micro-batching TCP server over a packed model");
   args.add_required_string("model", "packed model from `slide_cli freeze`");
@@ -380,35 +390,59 @@ int cmd_serve(int argc, const char* const* argv) {
   args.add_int("delay-us", 200, "max time a request waits for its batch to fill");
   args.add_int("queue-cap", 1024, "bounded request-queue capacity");
   args.add_string("admission", "reject", "queue-full policy: reject | block");
+  args.add_int("idle-timeout-ms", 0, "close idle connections after this (0 = never)");
+  args.add_double("degrade-fill", 0.75,
+                  "queue fill fraction that degrades dense top-k to the "
+                  "sampled path (>= 1.0 disables)");
+  args.add_int("degrade-p99-us", 0, "p99 latency that also trips degradation (0 = off)");
+  args.add_flag("no-degrade", "never downgrade dense top-k under load");
+  args.add_string("faults", "", "fault-injection spec (same syntax as SLIDE_FAULTS)");
   args.add_int("threads", 0, "worker threads");
   cli::add_isa_flag(args);
   if (help_requested(args, argc, argv)) return 0;
   if (!args.parse(argc, argv, 2)) {
     std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
-    return 1;
+    return kServeExitUsage;
   }
-  if (!apply_common_system_flags(args)) return 1;
+  if (!apply_common_system_flags(args)) return kServeExitUsage;
 
   const std::string mode_name = args.get_string("mode");
   if (mode_name != "dense" && mode_name != "sampled") {
     std::fprintf(stderr, "error: --mode must be dense|sampled\n");
-    return 1;
+    return kServeExitUsage;
   }
   const std::string admission_name = args.get_string("admission");
   if (admission_name != "reject" && admission_name != "block") {
     std::fprintf(stderr, "error: --admission must be reject|block\n");
-    return 1;
+    return kServeExitUsage;
   }
   if (args.get_int("port") < 0 || args.get_int("port") > 65535) {
     std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
-    return 1;
+    return kServeExitUsage;
+  }
+  if (!args.get_string("faults").empty()) {
+    std::string error;
+    if (!util::FaultInjector::instance().configure(args.get_string("faults"), &error)) {
+      std::fprintf(stderr, "error: --faults: %s\n", error.c_str());
+      return kServeExitUsage;
+    }
   }
 
   // Install before the model load so an early SIGTERM still exits cleanly.
   std::signal(SIGINT, handle_shutdown_signal);
   std::signal(SIGTERM, handle_shutdown_signal);
 
-  const infer::PackedModel packed = infer::PackedModel::load_file(args.get_string("model"));
+  infer::PackedModel packed = [&] {
+    try {
+      return infer::PackedModel::load_file(args.get_string("model"));
+    } catch (const infer::ModelIoError& e) {
+      std::fprintf(stderr, "error: cannot read model: %s\n", e.what());
+      std::exit(kServeExitModelUnreadable);
+    } catch (const infer::ModelIntegrityError& e) {
+      std::fprintf(stderr, "error: model failed integrity checks: %s\n", e.what());
+      std::exit(kServeExitModelCorrupt);
+    }
+  }();
   infer::InferenceEngine engine(packed);
 
   serve::ServerConfig scfg;
@@ -422,37 +456,56 @@ int cmd_serve(int argc, const char* const* argv) {
                                              : serve::Admission::Reject;
   scfg.k = static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("topk")));
   scfg.mode = mode_name == "sampled" ? infer::TopKMode::Sampled : infer::TopKMode::Dense;
+  scfg.pressure.degrade_fill = args.get_double("degrade-fill");
+  scfg.pressure.degrade_p99_us = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, args.get_int("degrade-p99-us")));
+  scfg.pressure.allow_degrade = !args.get_flag("no-degrade");
   serve::BatchingServer server(engine, scfg);
 
   serve::TcpServerConfig tcfg;
   tcfg.bind_address = args.get_string("bind");
   tcfg.port = static_cast<std::uint16_t>(args.get_int("port"));
-  serve::TcpServer tcp(server, tcfg);
+  tcfg.idle_timeout_ms = static_cast<int>(std::max<std::int64_t>(
+      0, args.get_int("idle-timeout-ms")));
+  std::unique_ptr<serve::TcpServer> tcp;
+  try {
+    tcp = std::make_unique<serve::TcpServer>(server, tcfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot bind %s:%lld: %s\n", tcfg.bind_address.c_str(),
+                 static_cast<long long>(args.get_int("port")), e.what());
+    return kServeExitBindFailure;
+  }
 
   log_info("serve: model=", args.get_string("model"), " params=", packed.num_params(),
            " mode=", mode_name, " backend=", kernels::active_isa_name());
   log_info("serve: batch-max=", scfg.policy.max_batch_size,
            " delay-us=", scfg.policy.max_queue_delay_us,
-           " queue-cap=", scfg.queue_capacity, " admission=", admission_name);
+           " queue-cap=", scfg.queue_capacity, " admission=", admission_name,
+           " degrade-fill=", scfg.pressure.degrade_fill,
+           " idle-timeout-ms=", tcfg.idle_timeout_ms);
 
-  tcp.start();
+  tcp->start();
   // The port line is the startup handshake scripts wait for (CI greps it).
-  std::printf("serving on %s:%u\n", tcfg.bind_address.c_str(), tcp.port());
+  std::printf("serving on %s:%u\n", tcfg.bind_address.c_str(), tcp->port());
   std::fflush(stdout);
 
   while (g_shutdown_signal == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   log_info("serve: shutdown signal received; draining");
-  tcp.stop();  // joins connections, then drains the batching core
+  tcp->stop();  // joins connections, then drains the batching core
 
   const serve::ServerStats stats = server.stats();
   std::printf("served %llu queries in %llu batches (avg batch %.1f), rejected %llu, "
-              "connections %llu\n",
+              "shed %llu, expired %llu, degraded %llu, errors %llu, connections %llu\n",
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.batches), stats.avg_batch_size,
               static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(tcp.connections_accepted()));
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(tcp->connections_accepted()));
   std::printf("latency us: p50=%llu p95=%llu p99=%llu max=%llu (queue p50=%llu)\n",
               static_cast<unsigned long long>(stats.total_us.p50()),
               static_cast<unsigned long long>(stats.total_us.p95()),
