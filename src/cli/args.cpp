@@ -176,8 +176,46 @@ std::string CommandSet::usage_error(const std::string& name) const {
   return os.str();
 }
 
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Fp32: return "fp32";
+    case Precision::Bf16Activations: return "bf16act";
+    case Precision::Bf16All: return "bf16all";
+    case Precision::Int8: return "int8";
+  }
+  return "unknown";
+}
+
+bool parse_precision(std::string_view name, Precision* out) {
+  if (name == "fp32") {
+    *out = Precision::Fp32;
+    return true;
+  }
+  if (name == "bf16act") {
+    *out = Precision::Bf16Activations;
+    return true;
+  }
+  if (name == "bf16all") {
+    *out = Precision::Bf16All;
+    return true;
+  }
+  if (name == "int8") {
+    *out = Precision::Int8;
+    return true;
+  }
+  return false;
+}
+
+std::string precision_usage_error(const std::string& got, bool allow_keep) {
+  std::string msg = "--precision must be ";
+  if (allow_keep) msg += "keep|";
+  msg += "fp32|bf16act|bf16all|int8, got '" + got + "'";
+  return msg;
+}
+
 void add_isa_flag(ArgParser& args) {
-  args.add_string("isa", "auto", "kernel backend: auto | scalar | avx2 | avx512");
+  args.add_string("isa", "auto",
+                  "kernel backend: auto | scalar | avx2 | avx512 | avx512vnni");
 }
 
 bool apply_isa_flag(const ArgParser& args, std::string* error) {
@@ -186,7 +224,7 @@ bool apply_isa_flag(const ArgParser& args, std::string* error) {
   kernels::Isa isa;
   if (!kernels::parse_isa(value, &isa)) {
     if (error != nullptr) {
-      *error = "--isa must be auto|scalar|avx2|avx512, got '" + value + "'";
+      *error = "--isa must be auto|scalar|avx2|avx512|avx512vnni, got '" + value + "'";
     }
     return false;
   }

@@ -8,7 +8,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "core/config.h"
 
 namespace slide::cli {
 
@@ -84,7 +87,20 @@ class CommandSet {
 
 // --- Standard flags shared across tools -----------------------------------
 
-// Declares the standard --isa flag (auto | scalar | avx2 | avx512).
+// Canonical CLI spelling of a precision: fp32 | bf16act | bf16all | int8.
+const char* precision_name(Precision p);
+
+// Parses a CLI precision name; returns false (leaving *out untouched) for
+// anything unrecognized.  "keep" is deliberately NOT accepted here — entry
+// points that support it check for it before calling.
+bool parse_precision(std::string_view name, Precision* out);
+
+// The one-line usage message every entry point prints for a bad precision
+// value, e.g. "--precision must be keep|fp32|bf16act|bf16all|int8, got 'x'".
+std::string precision_usage_error(const std::string& got, bool allow_keep);
+
+// Declares the standard --isa flag (auto | scalar | avx2 | avx512 |
+// avx512vnni).
 void add_isa_flag(ArgParser& args);
 
 // Applies a parsed --isa value to the kernel dispatcher.  "auto" keeps the

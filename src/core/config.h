@@ -11,12 +11,17 @@ namespace slide {
 
 enum class Activation { ReLU, Softmax, Linear };
 
-// Paper Section 4.4 / Table 3 quantization modes.
+// Paper Section 4.4 / Table 3 quantization modes, plus the post-paper int8
+// serving tier.
 //   Fp32            no quantization ("Without BF16")
 //   Bf16Activations activations stored bf16, weights fp32 ("BF16 only for
 //                   activations")
 //   Bf16All         weights *and* activations stored bf16 ("BF16 for both")
-enum class Precision { Fp32, Bf16Activations, Bf16All };
+//   Int8            serving-only: s8 weights (symmetric per-output-row
+//                   scales) x u8 activations (per-layer scale/zero-point
+//                   calibrated at freeze time), i32 accumulation.  Training
+//                   never runs at Int8 — PackedModel::freeze converts.
+enum class Precision { Fp32, Bf16Activations, Bf16All, Int8 };
 
 enum class HashKind { None, Dwta, SimHash };
 

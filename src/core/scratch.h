@@ -20,7 +20,8 @@ namespace slide {
 struct LayerScratch {
   std::vector<std::uint32_t> active;  // empty for dense layers
   AlignedVector<float> act;           // fp32 master activations
-  AlignedVector<bf16> act16;          // bf16 mirror (Precision != Fp32)
+  AlignedVector<bf16> act16;          // bf16 mirror (bf16 precisions)
+  AlignedVector<std::uint8_t> act8;   // u8 quantized mirror (Int8 serving)
   std::vector<std::uint32_t> buckets; // one bucket index per hash table
   lsh::SamplerScratch sampler;
 

@@ -55,9 +55,18 @@ void InferenceEngine::release_scratch(std::unique_ptr<Scratch> s) {
 // min_active == 0 and every probed bucket is empty) — the pass is aborted
 // and the caller falls back to the exact pass.
 bool InferenceEngine::forward_pass(data::SparseVectorView x, bool use_tables, Scratch& s) {
-  const bool bf16_act = model_.precision() != Precision::Fp32;
-  const bool bf16_w = model_.precision() == Precision::Bf16All;
+  const Precision prec = model_.precision();
+  const bool int8 = prec == Precision::Int8;
+  const bool bf16_act = prec == Precision::Bf16Activations || prec == Precision::Bf16All;
+  const bool bf16_w = prec == Precision::Bf16All;
   const std::size_t last = model_.num_layers() - 1;
+  if (int8) {
+    // Quantize the query's sparse values once against layer 0's input
+    // qparams; every candidate row then reuses the same u8 buffer.
+    const PackedModel::Layer& L0 = model_.layer(0);
+    s.qin.resize(x.nnz);
+    kernels::quantize_u8(x.values, s.qin.data(), x.nnz, 1.0f / L0.in_scale, L0.in_zero);
+  }
   for (std::size_t i = 0; i < model_.num_layers(); ++i) {
     const PackedModel::Layer& L = model_.layer(i);
     LayerScratch& lw = s.layers[i];
@@ -92,11 +101,23 @@ bool InferenceEngine::forward_pass(data::SparseVectorView x, bool use_tables, Sc
       for (std::size_t k = 0; k < count; ++k) {
         const std::uint32_t n =
             lw.active.empty() ? static_cast<std::uint32_t>(k) : lw.active[k];
-        lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(x.indices, x.values, x.nnz,
-                                                       L.row_bf16(n))
-                            : kernels::sparse_dot_f32(x.indices, x.values, x.nnz,
-                                                      L.row_f32(n))) +
-                    L.bias[n];
+        if (int8) {
+          // Sparse input: absent features are exactly 0 in fp32 and simply
+          // missing from the quantized sum, so only the participating
+          // indices' weights enter the zero-point correction (wsum).
+          std::int32_t dot, wsum;
+          kernels::sparse_dot_u8s8(x.indices, s.qin.data(), x.nnz, L.row_i8(n), &dot,
+                                   &wsum);
+          lw.act[k] = L.in_scale * L.w_scale[n] *
+                          static_cast<float>(dot - L.in_zero * wsum) +
+                      L.bias[n];
+        } else {
+          lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(x.indices, x.values, x.nnz,
+                                                         L.row_bf16(n))
+                              : kernels::sparse_dot_f32(x.indices, x.values, x.nnz,
+                                                        L.row_f32(n))) +
+                      L.bias[n];
+        }
       }
     } else {
       const LayerScratch& pw = s.layers[i - 1];
@@ -105,29 +126,53 @@ bool InferenceEngine::forward_pass(data::SparseVectorView x, bool use_tables, Sc
         for (std::size_t k = 0; k < count; ++k) {
           const std::uint32_t n =
               lw.active.empty() ? static_cast<std::uint32_t>(k) : lw.active[k];
-          lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(pw.active.data(), pw.act.data(),
-                                                         pw.active.size(), L.row_bf16(n))
-                              : kernels::sparse_dot_f32(pw.active.data(), pw.act.data(),
-                                                        pw.active.size(), L.row_f32(n))) +
-                      L.bias[n];
+          if (int8) {
+            std::int32_t dot, wsum;
+            kernels::sparse_dot_u8s8(pw.active.data(), pw.act8.data(), pw.active.size(),
+                                     L.row_i8(n), &dot, &wsum);
+            lw.act[k] = L.in_scale * L.w_scale[n] *
+                            static_cast<float>(dot - L.in_zero * wsum) +
+                        L.bias[n];
+          } else {
+            lw.act[k] = (bf16_w ? kernels::sparse_dot_bf16(pw.active.data(), pw.act.data(),
+                                                           pw.active.size(), L.row_bf16(n))
+                                : kernels::sparse_dot_f32(pw.active.data(), pw.act.data(),
+                                                          pw.active.size(), L.row_f32(n))) +
+                        L.bias[n];
+          }
         }
       } else {
         // Dense previous layer: blocked dots over the (candidate) rows.
         const std::uint32_t* rows = lw.active.empty() ? nullptr : lw.active.data();
-        if (bf16_w) {
-          kernels::dot_rows_wbf16_xbf16(L.w16.data(), L.input_dim, rows, count,
-                                        pw.act16.data(), L.input_dim, lw.act.data());
-        } else if (bf16_act) {
-          kernels::dot_rows_wf32_xbf16(L.w.data(), L.input_dim, rows, count,
-                                       pw.act16.data(), L.input_dim, lw.act.data());
+        if (int8) {
+          // Full-width previous layer: every input is represented, so the
+          // zero-point correction uses the precomputed full-row weight sums.
+          s.acc32.resize(count);
+          kernels::dot_rows_u8s8(L.w8.data(), L.input_dim, rows, count, pw.act8.data(),
+                                 L.input_dim, s.acc32.data());
+          for (std::size_t k = 0; k < count; ++k) {
+            const std::uint32_t n =
+                rows == nullptr ? static_cast<std::uint32_t>(k) : rows[k];
+            lw.act[k] = L.in_scale * L.w_scale[n] *
+                            static_cast<float>(s.acc32[k] - L.in_zero * L.w_rowsum[n]) +
+                        L.bias[n];
+          }
         } else {
-          kernels::dot_rows_f32(L.w.data(), L.input_dim, rows, count, pw.act.data(),
-                                L.input_dim, lw.act.data());
-        }
-        if (rows != nullptr) {
-          for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[rows[k]];
-        } else {
-          for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[k];
+          if (bf16_w) {
+            kernels::dot_rows_wbf16_xbf16(L.w16.data(), L.input_dim, rows, count,
+                                          pw.act16.data(), L.input_dim, lw.act.data());
+          } else if (bf16_act) {
+            kernels::dot_rows_wf32_xbf16(L.w.data(), L.input_dim, rows, count,
+                                         pw.act16.data(), L.input_dim, lw.act.data());
+          } else {
+            kernels::dot_rows_f32(L.w.data(), L.input_dim, rows, count, pw.act.data(),
+                                  L.input_dim, lw.act.data());
+          }
+          if (rows != nullptr) {
+            for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[rows[k]];
+          } else {
+            for (std::size_t k = 0; k < count; ++k) lw.act[k] += L.bias[k];
+          }
         }
       }
     }
@@ -139,6 +184,13 @@ bool InferenceEngine::forward_pass(data::SparseVectorView x, bool use_tables, Sc
     if (bf16_act && !output_layer) {
       lw.act16.resize(count);
       kernels::fp32_to_bf16(lw.act.data(), lw.act16.data(), count);
+    }
+    if (int8 && !output_layer) {
+      // Layer i+1's qparams describe its input — i.e. this layer's output.
+      const PackedModel::Layer& N = model_.layer(i + 1);
+      lw.act8.resize(count);
+      kernels::quantize_u8(lw.act.data(), lw.act8.data(), count, 1.0f / N.in_scale,
+                           N.in_zero);
     }
   }
   return true;

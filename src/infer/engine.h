@@ -76,6 +76,8 @@ class InferenceEngine {
   struct Scratch {
     std::vector<LayerScratch> layers;
     std::vector<std::uint32_t> topk;
+    AlignedVector<std::uint8_t> qin;     // int8 mode: quantized query values
+    AlignedVector<std::int32_t> acc32;   // int8 mode: raw i32 dot accumulators
   };
   // RAII lease: returns the scratch to the freelist on destruction.
   class Lease {

@@ -1,5 +1,7 @@
 #include "infer/packed_model.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -37,6 +39,11 @@ PackedModel PackedModel::freeze(const Network& net) {
 }
 
 PackedModel PackedModel::freeze(const Network& net, Precision precision) {
+  if (precision == Precision::Int8) {
+    throw std::invalid_argument(
+        "PackedModel::freeze: Precision::Int8 needs a calibration batch; use the "
+        "freeze(net, precision, calibration, config) overload");
+  }
   PackedModel pm;
   pm.input_dim_ = net.input_dim();
   pm.precision_ = precision;
@@ -74,6 +81,143 @@ PackedModel PackedModel::freeze(const Network& net, Precision precision) {
   return pm;
 }
 
+namespace {
+
+// [lo, hi] always brackets 0 so that zero — the value ReLU sparsity and
+// missing sparse features both produce — quantizes exactly.
+struct QuantRange {
+  float lo = 0.0f;
+  float hi = 0.0f;
+};
+
+QuantRange choose_range(std::vector<float>& vals, const CalibrationConfig& cal) {
+  QuantRange r;
+  for (const float v : vals) {
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  if (cal.method == CalibrationMethod::Percentile && !vals.empty()) {
+    // Clip at the p-quantile of |v|: a handful of outliers no longer cost
+    // the whole range its resolution.
+    for (float& v : vals) v = std::fabs(v);
+    const double p = std::clamp(cal.percentile, 0.0, 1.0);
+    const std::size_t idx =
+        static_cast<std::size_t>(p * static_cast<double>(vals.size() - 1));
+    std::nth_element(vals.begin(), vals.begin() + idx, vals.end());
+    const float m = vals[idx];
+    r.lo = std::max(r.lo, -m);
+    r.hi = std::min(r.hi, m);
+  }
+  return r;
+}
+
+}  // namespace
+
+PackedModel PackedModel::freeze(const Network& net, Precision precision,
+                                std::span<const data::SparseVectorView> calibration,
+                                const CalibrationConfig& cal) {
+  if (precision != Precision::Int8) return freeze(net, precision);
+  if (calibration.empty()) {
+    throw std::invalid_argument("PackedModel::freeze: int8 calibration batch is empty");
+  }
+
+  PackedModel pm;
+  pm.input_dim_ = net.input_dim();
+  pm.precision_ = Precision::Int8;
+  const std::size_t num_layers = net.num_layers();
+  pm.layers_.reserve(num_layers);
+
+  // Stage an fp32 copy of every arena (widening a bf16-trained net): both
+  // the calibration forward and the quantizer read it.
+  std::vector<AlignedVector<float>> wf(num_layers);
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    const slide::Layer& src = net.layer(i);
+    Layer L;
+    L.input_dim = src.input_dim();
+    L.dim = src.dim();
+    L.seed = src.seed();
+    L.cfg = src.config();
+    L.bias.assign(src.biases().begin(), src.biases().end());
+    const std::size_t total = L.dim * L.input_dim;
+    wf[i].resize(total);
+    if (src.precision() == Precision::Bf16All) {
+      kernels::bf16_to_fp32(src.weights_bf16().data(), wf[i].data(), total);
+    } else {
+      std::copy(src.weights_f32().begin(), src.weights_f32().end(), wf[i].begin());
+    }
+    pm.layers_.push_back(std::move(L));
+  }
+
+  // Observe each layer's input distribution with a dense fp32 forward over
+  // the calibration batch (no LSH sampling, so the ranges don't depend on
+  // table contents).  Layer i+1's observations are layer i's post-activation
+  // outputs; layer 0 sees the raw sparse feature values (its zeros are
+  // implicit, and choose_range always includes 0).  The last layer's output
+  // feeds nothing, so the forward stops one layer short.
+  std::vector<std::vector<float>> observed(num_layers);
+  const std::size_t n_samples = std::min(cal.max_samples, calibration.size());
+  AlignedVector<float> cur, out;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    const data::SparseVectorView x = calibration[s];
+    observed[0].insert(observed[0].end(), x.values, x.values + x.nnz);
+    for (std::size_t i = 0; i + 1 < num_layers; ++i) {
+      const Layer& L = pm.layers_[i];
+      out.resize(L.dim);
+      if (i == 0) {
+        for (std::size_t n = 0; n < L.dim; ++n) {
+          out[n] = kernels::sparse_dot_f32(x.indices, x.values, x.nnz,
+                                           wf[i].data() + n * L.input_dim) +
+                   L.bias[n];
+        }
+      } else {
+        kernels::dot_rows_f32(wf[i].data(), L.input_dim, nullptr, L.dim, cur.data(),
+                              L.input_dim, out.data());
+        for (std::size_t n = 0; n < L.dim; ++n) out[n] += L.bias[n];
+      }
+      // Matches the engine's rule: ReLU clamps every non-output layer,
+      // Linear/Softmax hidden outputs pass through raw.
+      if (L.cfg.activation == Activation::ReLU) kernels::relu_f32(out.data(), L.dim);
+      observed[i + 1].insert(observed[i + 1].end(), out.begin(), out.end());
+      std::swap(cur, out);
+    }
+  }
+
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    Layer& L = pm.layers_[i];
+    const QuantRange r = choose_range(observed[i], cal);
+    if (r.hi > r.lo) {
+      L.in_scale = (r.hi - r.lo) / 127.0f;
+      L.in_zero = std::clamp<std::int32_t>(
+          static_cast<std::int32_t>(std::lround(-r.lo / L.in_scale)), 0, 127);
+    }  // degenerate (all-zero) input keeps the identity qparams {1.0, 0}
+
+    // Symmetric per-output-row weight quantization.
+    const std::size_t total = L.dim * L.input_dim;
+    L.w8.resize(total);
+    L.w_scale.resize(L.dim);
+    L.w_rowsum.resize(L.dim);
+    for (std::size_t n = 0; n < L.dim; ++n) {
+      const float* row = wf[i].data() + n * L.input_dim;
+      float amax = 0.0f;
+      for (std::size_t j = 0; j < L.input_dim; ++j) amax = std::max(amax, std::fabs(row[j]));
+      const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+      L.w_scale[n] = scale;
+      const float inv = 1.0f / scale;
+      std::int8_t* q = L.w8.data() + n * L.input_dim;
+      std::int32_t rowsum = 0;
+      for (std::size_t j = 0; j < L.input_dim; ++j) {
+        const auto v = std::clamp<std::int32_t>(
+            static_cast<std::int32_t>(std::lrintf(row[j] * inv)), -127, 127);
+        q[j] = static_cast<std::int8_t>(v);
+        rowsum += v;
+      }
+      L.w_rowsum[n] = rowsum;
+    }
+  }
+  pm.rebuild_lsh();
+  return pm;
+}
+
 void PackedModel::rebuild_lsh() {
   ThreadPool& pool = global_pool();
   for (Layer& L : layers_) {
@@ -89,6 +233,7 @@ void PackedModel::rebuild_lsh() {
     const std::size_t num_tables = L.family->num_tables();
     std::vector<std::uint32_t> buckets(L.dim * num_tables);
     const bool bf16_w = precision_ == Precision::Bf16All;
+    const bool int8_w = precision_ == Precision::Int8;
     const auto hash_range = [&](std::size_t begin, std::size_t end) {
       thread_local std::vector<float> widened;
       for (std::size_t n = begin; n < end; ++n) {
@@ -96,6 +241,17 @@ void PackedModel::rebuild_lsh() {
           widened.resize(L.input_dim);
           kernels::bf16_to_fp32(L.row_bf16(static_cast<std::uint32_t>(n)), widened.data(),
                                 L.input_dim);
+          L.family->hash_dense(widened.data(), buckets.data() + n * num_tables);
+        } else if (int8_w) {
+          // Hash the dequantized row, not the pre-quantization fp32: the
+          // tables must be a pure function of what the file stores so that
+          // freeze-time and load-time rebuilds agree bucket for bucket.
+          widened.resize(L.input_dim);
+          const std::int8_t* row = L.row_i8(static_cast<std::uint32_t>(n));
+          const float sc = L.w_scale[n];
+          for (std::size_t j = 0; j < L.input_dim; ++j) {
+            widened[j] = sc * static_cast<float>(row[j]);
+          }
           L.family->hash_dense(widened.data(), buckets.data() + n * num_tables);
         } else {
           L.family->hash_dense(L.row_f32(static_cast<std::uint32_t>(n)),
@@ -185,11 +341,22 @@ void PackedModel::save(std::ostream& out) const {
         util::crc32c(L.bias.data(), L.bias.size() * sizeof(float), meta_crc);
     io::write_pod(out, meta_crc);
 
-    // Weights section and its CRC.
+    // Weights section and its CRC.  Int8 (v3) stores the quantized arena,
+    // its per-row scales, and the layer's activation qparams under one
+    // checksum; w_rowsum is derived, so it is recomputed on load instead.
     std::uint32_t w_crc;
     if (precision_ == Precision::Bf16All) {
       io::write_array(out, L.w16.data(), L.w16.size());
       w_crc = util::crc32c(L.w16.data(), L.w16.size() * sizeof(bf16));
+    } else if (precision_ == Precision::Int8) {
+      io::write_array(out, L.w8.data(), L.w8.size());
+      io::write_array(out, L.w_scale.data(), L.w_scale.size());
+      io::write_pod(out, L.in_scale);
+      io::write_pod(out, L.in_zero);
+      w_crc = util::crc32c(L.w8.data(), L.w8.size() * sizeof(std::int8_t));
+      w_crc = util::crc32c(L.w_scale.data(), L.w_scale.size() * sizeof(float), w_crc);
+      w_crc = util::crc32c(&L.in_scale, sizeof(L.in_scale), w_crc);
+      w_crc = util::crc32c(&L.in_zero, sizeof(L.in_zero), w_crc);
     } else {
       io::write_array(out, L.w.data(), L.w.size());
       w_crc = util::crc32c(L.w.data(), L.w.size() * sizeof(float));
@@ -223,8 +390,13 @@ PackedModel PackedModel::load(std::istream& in) {
       crc = util::crc32c(&num_layers, sizeof(num_layers), crc);
       check_section_crc(in, crc, "header");
     }
-    if (precision > static_cast<std::uint8_t>(Precision::Bf16All)) {
+    if (precision > static_cast<std::uint8_t>(Precision::Int8)) {
       throw ModelIntegrityError("packed model: invalid precision byte");
+    }
+    if (pm.precision_ == Precision::Int8 && version < 3) {
+      throw ModelIntegrityError(
+          "packed model: int8 payload requires format v3, file claims v" +
+          std::to_string(version));
     }
     if (pm.input_dim_ == 0 || num_layers == 0) {
       throw ModelIntegrityError("packed model: empty model");
@@ -268,12 +440,33 @@ PackedModel PackedModel::load(std::istream& in) {
         L.w16.resize(total);
         io::read_array(in, L.w16.data(), total);
         w_crc = util::crc32c(L.w16.data(), total * sizeof(bf16));
+      } else if (pm.precision_ == Precision::Int8) {
+        L.w8.resize(total);
+        L.w_scale.resize(L.dim);
+        io::read_array(in, L.w8.data(), total);
+        io::read_array(in, L.w_scale.data(), L.dim);
+        L.in_scale = io::read_pod<float>(in);
+        L.in_zero = io::read_pod<std::int32_t>(in);
+        w_crc = util::crc32c(L.w8.data(), total * sizeof(std::int8_t));
+        w_crc = util::crc32c(L.w_scale.data(), L.dim * sizeof(float), w_crc);
+        w_crc = util::crc32c(&L.in_scale, sizeof(L.in_scale), w_crc);
+        w_crc = util::crc32c(&L.in_zero, sizeof(L.in_zero), w_crc);
       } else {
         L.w.resize(total);
         io::read_array(in, L.w.data(), total);
         w_crc = util::crc32c(L.w.data(), total * sizeof(float));
       }
       if (checked) check_section_crc(in, w_crc, which + " weights");
+      if (pm.precision_ == Precision::Int8) {
+        // Derived, not stored: the dense dot's zero-point correction term.
+        L.w_rowsum.resize(L.dim);
+        for (std::size_t n = 0; n < L.dim; ++n) {
+          std::int32_t rowsum = 0;
+          const std::int8_t* row = L.w8.data() + n * L.input_dim;
+          for (std::size_t j = 0; j < L.input_dim; ++j) rowsum += row[j];
+          L.w_rowsum[n] = rowsum;
+        }
+      }
       pm.layers_.push_back(std::move(L));
     }
     pm.rebuild_lsh();

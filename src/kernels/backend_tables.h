@@ -12,5 +12,8 @@ extern const KernelTable kAvx2Table;
 #if SLIDE_HAVE_AVX512
 extern const KernelTable kAvx512Table;
 #endif
+#if SLIDE_HAVE_AVX512VNNI
+extern const KernelTable kAvx512VnniTable;
+#endif
 
 }  // namespace slide::kernels

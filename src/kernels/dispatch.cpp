@@ -1,9 +1,9 @@
 // Runtime backend selection (drives the Table 4 vectorization ablation).
 //
-// Three-way priority dispatch: AVX-512 > AVX2 > scalar, each gated on both
-// compile-time availability (SLIDE_HAVE_*) and CPUID.  The SLIDE_ISA
-// environment variable overrides the automatic pick for the process, with a
-// logged fallback when the request can't be honored.
+// Four-way priority dispatch: AVX-512+VNNI > AVX-512 > AVX2 > scalar, each
+// gated on both compile-time availability (SLIDE_HAVE_*) and CPUID.  The
+// SLIDE_ISA environment variable overrides the automatic pick for the
+// process, with a logged fallback when the request can't be honored.
 #include <atomic>
 #include <cstdlib>
 
@@ -30,11 +30,17 @@ const KernelTable* table_for(Isa isa) {
       if (cpu_has_avx512()) return &kAvx512Table;
 #endif
       return nullptr;
+    case Isa::Avx512Vnni:
+#if SLIDE_HAVE_AVX512VNNI
+      if (cpu_has_avx512() && cpu_has_avx512_vnni()) return &kAvx512VnniTable;
+#endif
+      return nullptr;
   }
   return nullptr;
 }
 
 const KernelTable* best_table() {
+  if (const KernelTable* t = table_for(Isa::Avx512Vnni)) return t;
   if (const KernelTable* t = table_for(Isa::Avx512)) return t;
   if (const KernelTable* t = table_for(Isa::Avx2)) return t;
   return &kScalarTable;
@@ -49,7 +55,7 @@ const KernelTable* initial_table() {
   Isa isa;
   if (!parse_isa(request, &isa)) {
     log_warn("SLIDE_ISA='", env, "' is not a backend name (expected scalar | avx2 | ",
-             "avx512 | auto); using ", best_table()->name);
+             "avx512 | avx512vnni | auto); using ", best_table()->name);
     return best_table();
   }
   if (const KernelTable* t = table_for(isa)) return t;
@@ -76,6 +82,7 @@ const KernelTable* active_table() {
 }  // namespace detail
 
 bool avx512_available() { return table_for(Isa::Avx512) != nullptr; }
+bool avx512_vnni_available() { return table_for(Isa::Avx512Vnni) != nullptr; }
 bool avx2_available() { return table_for(Isa::Avx2) != nullptr; }
 bool isa_available(Isa isa) { return table_for(isa) != nullptr; }
 
@@ -83,10 +90,12 @@ std::vector<Isa> available_isas() {
   std::vector<Isa> out{Isa::Scalar};
   if (avx2_available()) out.push_back(Isa::Avx2);
   if (avx512_available()) out.push_back(Isa::Avx512);
+  if (avx512_vnni_available()) out.push_back(Isa::Avx512Vnni);
   return out;
 }
 
 Isa preferred_isa() {
+  if (avx512_vnni_available()) return Isa::Avx512Vnni;
   if (avx512_available()) return Isa::Avx512;
   if (avx2_available()) return Isa::Avx2;
   return Isa::Scalar;
@@ -101,6 +110,9 @@ bool set_isa(Isa isa) {
 
 Isa active_isa() {
   const KernelTable* t = detail::active_table();
+#if SLIDE_HAVE_AVX512VNNI
+  if (t == &kAvx512VnniTable) return Isa::Avx512Vnni;
+#endif
 #if SLIDE_HAVE_AVX512
   if (t == &kAvx512Table) return Isa::Avx512;
 #endif
@@ -117,6 +129,7 @@ const char* isa_name(Isa isa) {
     case Isa::Scalar: return "scalar";
     case Isa::Avx2: return "avx2";
     case Isa::Avx512: return "avx512";
+    case Isa::Avx512Vnni: return "avx512vnni";
   }
   return "unknown";
 }
@@ -132,6 +145,10 @@ bool parse_isa(std::string_view name, Isa* out) {
   }
   if (name == "avx512") {
     *out = Isa::Avx512;
+    return true;
+  }
+  if (name == "avx512vnni") {
+    *out = Isa::Avx512Vnni;
     return true;
   }
   return false;

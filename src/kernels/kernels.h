@@ -43,8 +43,10 @@
 
 namespace slide::kernels {
 
-// Priority order for automatic selection: highest value wins.
-enum class Isa { Scalar, Avx2, Avx512 };
+// Priority order for automatic selection: highest value wins.  Avx512Vnni is
+// the AVX-512 table with the u8xs8 dot kernels fused into single vpdpbusd
+// instructions (every fp32 kernel is identical to the Avx512 tier).
+enum class Isa { Scalar, Avx2, Avx512, Avx512Vnni };
 
 // Function-pointer table filled in by each backend translation unit.
 struct KernelTable {
@@ -99,6 +101,29 @@ struct KernelTable {
   // width of 8 matches the paper's DWTA configuration.
   void (*wta_winners_f32)(const float* values, std::size_t num_bins, std::uint8_t* winners);
 
+  // --- int8 quantized inference kernels ----------------------------------
+  // u8 activations x s8 weights with i32 accumulation.  Activation bytes
+  // must stay in [0, 127] (the quantize_u8 contract): the AVX2/AVX-512BW
+  // backends form u8*s8 pair sums in saturating i16 via vpmaddubsw, and the
+  // 7-bit ceiling (2 * 127 * 127 < 32768) is what keeps every backend
+  // bit-exact against the scalar reference.
+  std::int32_t (*dot_u8s8)(const std::uint8_t* a, const std::int8_t* b, std::size_t n);
+  // *dot = sum val[k] * w[idx[k]]; *wsum = sum w[idx[k]] (the caller folds
+  // the activation zero-point out of the i32 total as zp * wsum).
+  void (*sparse_dot_u8s8)(const std::uint32_t* idx, const std::uint8_t* val,
+                          std::size_t nnz, const std::int8_t* w, std::int32_t* dot,
+                          std::int32_t* wsum);
+  // out[r] = <row(r), x> in i32; same row addressing as dot_rows_f32.
+  void (*dot_rows_u8s8)(const std::int8_t* w, std::size_t ld, const std::uint32_t* rows,
+                        std::size_t nrows, const std::uint8_t* x, std::size_t n,
+                        std::int32_t* out);
+  // dst[i] = clamp(nearbyint(src[i] * inv_scale) + zero_point, 0, 127).
+  void (*quantize_u8)(const float* src, std::uint8_t* dst, std::size_t n, float inv_scale,
+                      std::int32_t zero_point);
+  // dst[i] = scale * (src[i] - zero_point).
+  void (*dequantize_u8)(const std::uint8_t* src, float* dst, std::size_t n, float scale,
+                        std::int32_t zero_point);
+
   const char* name;
 };
 
@@ -116,6 +141,9 @@ const KernelTable* active_table();
 
 // True when the AVX-512 backend was compiled in AND the CPU supports it.
 bool avx512_available();
+// True when the AVX-512 VNNI backend was compiled in AND the CPU supports
+// both the AVX-512 base set and VNNI.
+bool avx512_vnni_available();
 // True when the AVX2 backend was compiled in AND the CPU supports AVX2+FMA.
 bool avx2_available();
 bool isa_available(Isa isa);
@@ -130,7 +158,7 @@ Isa preferred_isa();
 bool set_isa(Isa isa);
 Isa active_isa();
 const char* active_isa_name();
-// Canonical lowercase name ("scalar" | "avx2" | "avx512").
+// Canonical lowercase name ("scalar" | "avx2" | "avx512" | "avx512vnni").
 const char* isa_name(Isa isa);
 // Parses a canonical name; returns false (out untouched) for anything else.
 bool parse_isa(std::string_view name, Isa* out);
@@ -230,6 +258,27 @@ inline void gather_scatter_f32(float* dst, const std::uint32_t* dst_idx, const f
 inline void wta_winners_f32(const float* values, std::size_t num_bins,
                             std::uint8_t* winners) {
   detail::active_table()->wta_winners_f32(values, num_bins, winners);
+}
+inline std::int32_t dot_u8s8(const std::uint8_t* a, const std::int8_t* b, std::size_t n) {
+  return detail::active_table()->dot_u8s8(a, b, n);
+}
+inline void sparse_dot_u8s8(const std::uint32_t* idx, const std::uint8_t* val,
+                            std::size_t nnz, const std::int8_t* w, std::int32_t* dot,
+                            std::int32_t* wsum) {
+  detail::active_table()->sparse_dot_u8s8(idx, val, nnz, w, dot, wsum);
+}
+inline void dot_rows_u8s8(const std::int8_t* w, std::size_t ld, const std::uint32_t* rows,
+                          std::size_t nrows, const std::uint8_t* x, std::size_t n,
+                          std::int32_t* out) {
+  detail::active_table()->dot_rows_u8s8(w, ld, rows, nrows, x, n, out);
+}
+inline void quantize_u8(const float* src, std::uint8_t* dst, std::size_t n, float inv_scale,
+                        std::int32_t zero_point) {
+  detail::active_table()->quantize_u8(src, dst, n, inv_scale, zero_point);
+}
+inline void dequantize_u8(const std::uint8_t* src, float* dst, std::size_t n, float scale,
+                          std::int32_t zero_point) {
+  detail::active_table()->dequantize_u8(src, dst, n, scale, zero_point);
 }
 
 }  // namespace slide::kernels

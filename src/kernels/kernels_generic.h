@@ -460,6 +460,161 @@ struct GenericKernels {
       winners[b] = best;
     }
   }
+
+  // --- int8 quantized kernels -------------------------------------------------
+  // u8 activations x s8 weights, i32 accumulation — integer math doesn't
+  // reassociate, so vector backends are bit-exact against the W == 1 loops
+  // as long as the u8 operands respect quantize_u8's 7-bit ceiling (which
+  // keeps the vpmaddubsw i16 pair sums, <= 2*127*127, from saturating).
+  // Each vector step consumes 4*W bytes: one byte vector holds W i32 lanes'
+  // worth of quads for S::dpbusd.
+
+  static std::int32_t dot_u8s8(const std::uint8_t* a, const std::int8_t* b, std::size_t n) {
+    if constexpr (W == 1) {
+      std::int32_t acc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+      }
+      return acc;
+    } else {
+      constexpr std::size_t B = 4 * W;
+      vi acc0 = S::zero_i32();
+      vi acc1 = S::zero_i32();
+      std::size_t i = 0;
+      for (; i + 2 * B <= n; i += 2 * B) {
+        acc0 = S::dpbusd(acc0, S::load_b(a + i), S::load_b(b + i));
+        acc1 = S::dpbusd(acc1, S::load_b(a + i + B), S::load_b(b + i + B));
+      }
+      for (; i + B <= n; i += B) {
+        acc0 = S::dpbusd(acc0, S::load_b(a + i), S::load_b(b + i));
+      }
+      std::int32_t total = S::reduce_add_i32(acc0) + S::reduce_add_i32(acc1);
+      for (; i < n; ++i) {
+        total += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+      }
+      return total;
+    }
+  }
+
+  static void sparse_dot_u8s8(const std::uint32_t* idx, const std::uint8_t* val,
+                              std::size_t nnz, const std::int8_t* w, std::int32_t* dot,
+                              std::int32_t* wsum) {
+    if constexpr (W == 1) {
+      std::int32_t d = 0;
+      std::int32_t ws = 0;
+      for (std::size_t k = 0; k < nnz; ++k) {
+        const std::int32_t wk = w[idx[k]];
+        d += static_cast<std::int32_t>(val[k]) * wk;
+        ws += wk;
+      }
+      *dot = d;
+      *wsum = ws;
+    } else {
+      // Bytes can't be hardware-gathered; stage the indexed weights and keep
+      // both accumulations (dot, and the zero-point correction's weight sum
+      // via an all-ones "activation") vectorized.
+      constexpr std::size_t B = 4 * W;
+      alignas(64) std::int8_t staged[B];
+      const auto ones = S::set1_b(1);
+      vi dacc = S::zero_i32();
+      vi wacc = S::zero_i32();
+      std::size_t k = 0;
+      for (; k + B <= nnz; k += B) {
+        for (std::size_t j = 0; j < B; ++j) staged[j] = w[idx[k + j]];
+        const auto wb = S::load_b(staged);
+        dacc = S::dpbusd(dacc, S::load_b(val + k), wb);
+        wacc = S::dpbusd(wacc, ones, wb);
+      }
+      std::int32_t d = S::reduce_add_i32(dacc);
+      std::int32_t ws = S::reduce_add_i32(wacc);
+      for (; k < nnz; ++k) {
+        const std::int32_t wk = w[idx[k]];
+        d += static_cast<std::int32_t>(val[k]) * wk;
+        ws += wk;
+      }
+      *dot = d;
+      *wsum = ws;
+    }
+  }
+
+  static void dot_rows_u8s8(const std::int8_t* w, std::size_t ld, const std::uint32_t* rows,
+                            std::size_t nrows, const std::uint8_t* x, std::size_t n,
+                            std::int32_t* out) {
+    if constexpr (W == 1) {
+      for (std::size_t r = 0; r < nrows; ++r) out[r] = dot_u8s8(x, row_ptr(w, ld, rows, r), n);
+    } else {
+      constexpr std::size_t B = 4 * W;
+      std::size_t r = 0;
+      for (; r + 4 <= nrows; r += 4) {
+        const std::int8_t* w0 = row_ptr(w, ld, rows, r + 0);
+        const std::int8_t* w1 = row_ptr(w, ld, rows, r + 1);
+        const std::int8_t* w2 = row_ptr(w, ld, rows, r + 2);
+        const std::int8_t* w3 = row_ptr(w, ld, rows, r + 3);
+        vi a0 = S::zero_i32(), a1 = S::zero_i32(), a2 = S::zero_i32(), a3 = S::zero_i32();
+        std::size_t i = 0;
+        for (; i + B <= n; i += B) {
+          const auto xv = S::load_b(x + i);  // loaded once, feeds 4 dot steps
+          a0 = S::dpbusd(a0, xv, S::load_b(w0 + i));
+          a1 = S::dpbusd(a1, xv, S::load_b(w1 + i));
+          a2 = S::dpbusd(a2, xv, S::load_b(w2 + i));
+          a3 = S::dpbusd(a3, xv, S::load_b(w3 + i));
+        }
+        std::int32_t t0 = S::reduce_add_i32(a0);
+        std::int32_t t1 = S::reduce_add_i32(a1);
+        std::int32_t t2 = S::reduce_add_i32(a2);
+        std::int32_t t3 = S::reduce_add_i32(a3);
+        for (; i < n; ++i) {
+          const std::int32_t xi = x[i];
+          t0 += xi * w0[i];
+          t1 += xi * w1[i];
+          t2 += xi * w2[i];
+          t3 += xi * w3[i];
+        }
+        out[r + 0] = t0;
+        out[r + 1] = t1;
+        out[r + 2] = t2;
+        out[r + 3] = t3;
+      }
+      for (; r < nrows; ++r) out[r] = dot_u8s8(x, row_ptr(w, ld, rows, r), n);
+    }
+  }
+
+  static std::uint8_t quantize_one_u8(float x, float inv_scale, std::int32_t zero_point) {
+    float q = std::nearbyint(x * inv_scale) + static_cast<float>(zero_point);
+    q = q < 0.0f ? 0.0f : (q > 127.0f ? 127.0f : q);
+    return static_cast<std::uint8_t>(q);
+  }
+
+  // Clamps to [0, 127] rather than [0, 255]: see the saturation note above.
+  static void quantize_u8(const float* src, std::uint8_t* dst, std::size_t n,
+                          float inv_scale, std::int32_t zero_point) {
+    if constexpr (W == 1) {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = quantize_one_u8(src[i], inv_scale, zero_point);
+    } else {
+      const vf vs = S::set1(inv_scale);
+      const vf vzp = S::set1(static_cast<float>(zero_point));
+      const vf lo = S::zero();
+      const vf hi = S::set1(127.0f);
+      alignas(64) std::uint32_t lanes[W];
+      std::size_t i = 0;
+      for (; i + W <= n; i += W) {
+        vf q = S::add(S::round_nearest(S::mul(S::loadu(src + i), vs)), vzp);
+        q = S::min(S::max(q, lo), hi);
+        S::store_arr_i(lanes, S::cvt_f2i(q));
+        for (std::size_t j = 0; j < W; ++j) dst[i + j] = static_cast<std::uint8_t>(lanes[j]);
+      }
+      for (; i < n; ++i) dst[i] = quantize_one_u8(src[i], inv_scale, zero_point);
+    }
+  }
+
+  static void dequantize_u8(const std::uint8_t* src, float* dst, std::size_t n, float scale,
+                            std::int32_t zero_point) {
+    // One fp32 multiply per element on exactly-representable integers: the
+    // same scalar loop is bit-exact at every width, so no vector path.
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = scale * static_cast<float>(static_cast<std::int32_t>(src[i]) - zero_point);
+    }
+  }
 };
 
 // Builds the full dispatch table for one trait; backend TUs may patch
@@ -493,6 +648,11 @@ constexpr KernelTable make_kernel_table(const char* name) {
   t.gather_f32 = &G::gather_f32;
   t.gather_scatter_f32 = &G::gather_scatter_f32;
   t.wta_winners_f32 = &G::wta_winners_f32;
+  t.dot_u8s8 = &G::dot_u8s8;
+  t.sparse_dot_u8s8 = &G::sparse_dot_u8s8;
+  t.dot_rows_u8s8 = &G::dot_rows_u8s8;
+  t.quantize_u8 = &G::quantize_u8;
+  t.dequantize_u8 = &G::dequantize_u8;
   t.name = name;
   return t;
 }

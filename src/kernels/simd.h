@@ -34,6 +34,15 @@
 //   exp                       vectorized expf (scalar: std::exp; vector ISAs:
 //                             shared Cephes-style polynomial, ~2 ulp)
 //   round_nearest/cvt_f2i/pow2  building blocks for the shared exp polynomial
+//   int8 (vector traits only) vb (byte vector, 4*W bytes), load_b, set1_b,
+//                             zero_i32, dpbusd(acc,a,b) += per-i32-lane sum of
+//                             four u8*s8 products, reduce_add_i32.  The scalar
+//                             trait omits these: the generic quantized kernels
+//                             take a plain-loop branch at W == 1, which is the
+//                             parity reference.  vpmaddubsw-based backends
+//                             saturate i16 pair sums, so callers must keep u8
+//                             operands <= 127 (the quantizer's 7-bit ceiling);
+//                             within that contract every backend is bit-exact.
 #pragma once
 
 #include <cmath>
@@ -261,6 +270,27 @@ struct SimdAvx2 {
     return _mm256_castsi256_ps(
         _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23));
   }
+
+  // int8 dot support: 32 bytes (4 per i32 lane) per step.  vpmaddubsw forms
+  // u8*s8 pair sums in i16 (saturating — safe under the 7-bit activation
+  // contract), vpmaddwd folds them into the 8 i32 lanes.
+  using vb = __m256i;
+  static vb load_b(const void* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static vb set1_b(char x) { return _mm256_set1_epi8(x); }
+  static vi zero_i32() { return _mm256_setzero_si256(); }
+  static vi dpbusd(vi acc, vb a, vb b) {
+    const __m256i pair16 = _mm256_maddubs_epi16(a, b);
+    const __m256i quad32 = _mm256_madd_epi16(pair16, _mm256_set1_epi16(1));
+    return _mm256_add_epi32(acc, quad32);
+  }
+  static std::int32_t reduce_add_i32(vi v) {
+    __m128i lo = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+    lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(lo);
+  }
 };
 
 #endif  // __AVX2__ && __FMA__
@@ -371,9 +401,37 @@ struct SimdAvx512 {
     return _mm512_castsi512_ps(
         _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23));
   }
+
+  // int8 dot support: 64 bytes per step via the AVX-512BW vpmaddubsw/vpmaddwd
+  // pair (same idiom as AVX2, twice the width).  The VNNI trait below
+  // replaces this with the fused vpdpbusd.
+  using vb = __m512i;
+  static vb load_b(const void* p) { return _mm512_loadu_si512(p); }
+  static vb set1_b(char x) { return _mm512_set1_epi8(x); }
+  static vi zero_i32() { return _mm512_setzero_si512(); }
+  static vi dpbusd(vi acc, vb a, vb b) {
+    const __m512i pair16 = _mm512_maddubs_epi16(a, b);
+    const __m512i quad32 = _mm512_madd_epi16(pair16, _mm512_set1_epi16(1));
+    return _mm512_add_epi32(acc, quad32);
+  }
+  static std::int32_t reduce_add_i32(vi v) { return _mm512_reduce_add_epi32(v); }
 };
 
 #endif  // AVX-512 F/BW/DQ/VL
+
+// --- AVX-512 VNNI (W = 16) --------------------------------------------------
+// Identical to SimdAvx512 except the u8 x s8 dot step, which becomes one
+// fused vpdpbusd (no i16 intermediate at all).  Only the avx512_vnni.cpp TU,
+// compiled with -mavx512vnni on top of the AVX-512 flags, sees this trait.
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+struct SimdAvx512Vnni : SimdAvx512 {
+  static vi dpbusd(vi acc, vb a, vb b) { return _mm512_dpbusd_epi32(acc, a, b); }
+};
+
+#endif  // AVX-512 VNNI
 
 template <class S>
 typename S::vf simd_exp(typename S::vf x) {

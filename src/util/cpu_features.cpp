@@ -14,6 +14,15 @@ bool cpu_has_avx512() {
 #endif
 }
 
+bool cpu_has_avx512_vnni() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  static const bool has = __builtin_cpu_supports("avx512vnni");
+  return has;
+#else
+  return false;
+#endif
+}
+
 bool cpu_has_avx2() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
   static const bool has = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -24,7 +33,10 @@ bool cpu_has_avx2() {
 }
 
 const char* cpu_feature_string() {
-  if (cpu_has_avx512()) return "avx512f avx512bw avx512dq avx512vl avx2 fma";
+  if (cpu_has_avx512()) {
+    return cpu_has_avx512_vnni() ? "avx512f avx512bw avx512dq avx512vl avx512vnni avx2 fma"
+                                 : "avx512f avx512bw avx512dq avx512vl avx2 fma";
+  }
   if (cpu_has_avx2()) return "avx2 fma";
   return "scalar-only";
 }

@@ -337,6 +337,98 @@ TEST_P(BackendParityTest, WtaWinnersExact) {
   }
 }
 
+// --- int8 quantized kernels ------------------------------------------------
+// Integer accumulation doesn't reassociate, so every backend must match the
+// scalar reference bit for bit (given quantize_u8's [0, 127] activation
+// contract, which all generators below respect).
+
+std::vector<std::uint8_t> random_u8(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_u64(128));
+  return v;
+}
+
+std::vector<std::int8_t> random_s8(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<std::int64_t>(rng.uniform_u64(255)) - 127);
+  }
+  return v;
+}
+
+TEST_P(BackendParityTest, DotU8S8Exact) {
+  Rng rng(113);
+  for (const std::size_t n : kSizes) {
+    const auto a = random_u8(n, rng);
+    const auto b = random_s8(n, rng);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    const std::int32_t ref = dot_u8s8(a.data(), b.data(), n);
+    ASSERT_TRUE(set_isa(GetParam()));
+    EXPECT_EQ(dot_u8s8(a.data(), b.data(), n), ref) << "n=" << n;
+  }
+}
+
+TEST_P(BackendParityTest, SparseDotU8S8Exact) {
+  Rng rng(114);
+  for (const std::size_t nnz : kSizes) {
+    const std::size_t universe = std::max<std::size_t>(4 * nnz, 64);
+    const auto idx = unique_indices(nnz, universe, rng);
+    const auto val = random_u8(nnz, rng);
+    const auto w = random_s8(universe, rng);
+    ASSERT_TRUE(set_isa(Isa::Scalar));
+    std::int32_t ref_dot = -1, ref_wsum = -1;
+    sparse_dot_u8s8(idx.data(), val.data(), nnz, w.data(), &ref_dot, &ref_wsum);
+    ASSERT_TRUE(set_isa(GetParam()));
+    std::int32_t got_dot = -2, got_wsum = -2;
+    sparse_dot_u8s8(idx.data(), val.data(), nnz, w.data(), &got_dot, &got_wsum);
+    EXPECT_EQ(got_dot, ref_dot) << "nnz=" << nnz;
+    EXPECT_EQ(got_wsum, ref_wsum) << "nnz=" << nnz;
+  }
+}
+
+TEST_P(BackendParityTest, DotRowsU8S8Exact) {
+  Rng rng(115);
+  const std::size_t total_rows = 48;
+  for (const std::size_t n : {1u, 8u, 9u, 17u, 64u, 128u, 131u}) {
+    for (const std::size_t nrows : {0u, 1u, 4u, 5u, 13u}) {
+      const auto w = random_s8(total_rows * n, rng);
+      const auto x = random_u8(n, rng);
+      const auto rows = unique_indices(nrows, total_rows, rng);
+      ASSERT_TRUE(set_isa(Isa::Scalar));
+      std::vector<std::int32_t> ref(nrows), ref_all(total_rows);
+      dot_rows_u8s8(w.data(), n, rows.data(), nrows, x.data(), n, ref.data());
+      dot_rows_u8s8(w.data(), n, nullptr, total_rows, x.data(), n, ref_all.data());
+      ASSERT_TRUE(set_isa(GetParam()));
+      std::vector<std::int32_t> got(nrows), got_all(total_rows);
+      dot_rows_u8s8(w.data(), n, rows.data(), nrows, x.data(), n, got.data());
+      dot_rows_u8s8(w.data(), n, nullptr, total_rows, x.data(), n, got_all.data());
+      EXPECT_EQ(got, ref) << "n=" << n << " nrows=" << nrows;
+      EXPECT_EQ(got_all, ref_all) << "n=" << n;
+    }
+  }
+}
+
+TEST_P(BackendParityTest, QuantizeDequantizeU8Exact) {
+  Rng rng(116);
+  for (const std::size_t n : kSizes) {
+    auto src = random_vec(n, rng, 8.0f);
+    if (n > 2) {
+      src[0] = 1e6f;    // clamps to 127
+      src[n - 1] = -1e6f;  // clamps to 0
+    }
+    std::vector<std::uint8_t> ref_q(n, 255), got_q(n, 255);
+    std::vector<float> ref_d(n, -1.0f), got_d(n, -1.0f);
+    on_both(GetParam(), [&](bool reference) {
+      auto* q = reference ? ref_q.data() : got_q.data();
+      quantize_u8(src.data(), q, n, /*inv_scale=*/16.0f, /*zero_point=*/50);
+      dequantize_u8(q, reference ? ref_d.data() : got_d.data(), n, 0.0625f, 50);
+    });
+    EXPECT_EQ(got_q, ref_q) << "n=" << n;
+    EXPECT_EQ(got_d, ref_d) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_LE(ref_q[i], 127) << "n=" << n << " i=" << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(VectorBackends, BackendParityTest,
                          ::testing::ValuesIn(available_isas()),
                          [](const ::testing::TestParamInfo<Isa>& info) {

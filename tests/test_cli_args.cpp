@@ -193,6 +193,38 @@ TEST(IsaFlag, AutoKeepsSelectionAndBadNameFails) {
   EXPECT_NE(error.find("mmx"), std::string::npos);
 }
 
+TEST(PrecisionFlag, ParsesEveryNameAndRoundTrips) {
+  const Precision all[] = {Precision::Fp32, Precision::Bf16Activations,
+                           Precision::Bf16All, Precision::Int8};
+  for (const Precision want : all) {
+    Precision got = Precision::Fp32;
+    ASSERT_TRUE(parse_precision(precision_name(want), &got)) << precision_name(want);
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_STREQ(precision_name(Precision::Int8), "int8");
+}
+
+TEST(PrecisionFlag, RejectsUnknownAndKeep) {
+  Precision p = Precision::Fp32;
+  EXPECT_FALSE(parse_precision("fp16", &p));
+  EXPECT_FALSE(parse_precision("INT8", &p));  // case-sensitive, like --isa
+  EXPECT_FALSE(parse_precision("", &p));
+  // "keep" is a freeze-only sentinel, handled by the caller, never by the
+  // shared parser.
+  EXPECT_FALSE(parse_precision("keep", &p));
+  EXPECT_EQ(p, Precision::Fp32);  // out param untouched on failure
+}
+
+TEST(PrecisionFlag, UsageErrorListsValidNames) {
+  const std::string with_keep = precision_usage_error("fp16", true);
+  EXPECT_NE(with_keep.find("keep|"), std::string::npos);
+  EXPECT_NE(with_keep.find("int8"), std::string::npos);
+  EXPECT_NE(with_keep.find("'fp16'"), std::string::npos);
+  const std::string without = precision_usage_error("x", false);
+  EXPECT_EQ(without.find("keep"), std::string::npos);
+  EXPECT_NE(without.find("fp32|bf16act|bf16all|int8"), std::string::npos);
+}
+
 TEST(IsaFlag, UnavailableBackendFallsBackWithoutError) {
   const kernels::Isa ambient = kernels::active_isa();
   // Find a recognized but unavailable backend, if any exists on this host.

@@ -4,7 +4,9 @@
 //   slide_cli train   --train f.txt --test f.txt [training flags] [--save m.bin]
 //   slide_cli eval    --model m.bin --test f.txt [--topk 5]
 //   slide_cli info    --model m.bin
-//   slide_cli freeze  --model m.bin --out m.pk [--precision keep|fp32|bf16act|bf16all]
+//   slide_cli freeze  --model m.bin --out m.pk
+//                     [--precision keep|fp32|bf16act|bf16all|int8]
+//                     [--calib f.txt --calib-method absmax|percentile]
 //   slide_cli predict --model m.pk --test f.txt [--topk 5] [--mode dense|sampled]
 //   slide_cli serve   --model m.pk --port 7070 [batching flags]
 //
@@ -22,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,7 +125,7 @@ int cmd_train(int argc, const char* const* argv) {
   args.add_int("epochs", 5, "training epochs");
   args.add_int("batch", 256, "batch size");
   args.add_double("lr", 1e-3, "ADAM learning rate");
-  args.add_string("precision", "fp32", "fp32 | bf16act | bf16all");
+  args.add_string("precision", "fp32", "fp32 | bf16act | bf16all (int8 is freeze-time only)");
   args.add_string("shuffle", "batches", "none | batches | examples");
   args.add_string("maintenance", "rebuild", "hash-table upkeep: rebuild | incremental");
   args.add_int("rebuild-interval", 16, "batches between table refreshes");
@@ -165,8 +168,17 @@ int cmd_train(int argc, const char* const* argv) {
                         : LshMaintenance::Rebuild;
 
   Precision precision = Precision::Fp32;
-  if (args.get_string("precision") == "bf16act") precision = Precision::Bf16Activations;
-  if (args.get_string("precision") == "bf16all") precision = Precision::Bf16All;
+  if (!cli::parse_precision(args.get_string("precision"), &precision)) {
+    std::fprintf(stderr, "error: %s\n",
+                 cli::precision_usage_error(args.get_string("precision"), false).c_str());
+    return 1;
+  }
+  if (precision == Precision::Int8) {
+    std::fprintf(stderr,
+                 "error: training never runs at int8; train at fp32/bf16 and use "
+                 "`slide_cli freeze --precision int8`\n");
+    return 1;
+  }
 
   NetworkConfig ncfg = make_slide_mlp(train.feature_dim(),
                                       static_cast<std::size_t>(args.get_int("hidden")),
@@ -240,10 +252,7 @@ int cmd_info(int argc, const char* const* argv) {
   Network net = load_network_file(args.get_string("model"));
   const NetworkConfig& cfg = net.config();
   std::printf("input_dim: %zu\nprecision: %s\nadam steps: %llu\nparameters: %zu\n",
-              cfg.input_dim,
-              cfg.precision == Precision::Fp32        ? "fp32"
-              : cfg.precision == Precision::Bf16All   ? "bf16all"
-                                                      : "bf16act",
+              cfg.input_dim, cli::precision_name(cfg.precision),
               static_cast<unsigned long long>(net.adam_steps()), net.num_params());
   for (std::size_t i = 0; i < cfg.layers.size(); ++i) {
     const LayerConfig& lc = cfg.layers[i];
@@ -265,7 +274,12 @@ int cmd_freeze(int argc, const char* const* argv) {
   cli::ArgParser args("slide_cli freeze: pack a checkpoint into a serving snapshot");
   args.add_required_string("model", "checkpoint from `slide_cli train --save`");
   args.add_required_string("out", "output packed-model file");
-  args.add_string("precision", "keep", "serving precision: keep | fp32 | bf16act | bf16all");
+  args.add_string("precision", "keep",
+                  "serving precision: keep | fp32 | bf16act | bf16all | int8");
+  args.add_string("calib", "", "calibration file (XC format; required for int8)");
+  args.add_string("calib-method", "absmax", "int8 activation range: absmax | percentile");
+  args.add_double("calib-percentile", 0.999, "quantile of |v| for --calib-method percentile");
+  args.add_int("calib-samples", 512, "max calibration examples consumed");
   if (help_requested(args, argc, argv)) return 0;
   if (!args.parse(argc, argv, 2)) {
     std::fprintf(stderr, "error: %s\n%s", args.error().c_str(), args.help().c_str());
@@ -275,21 +289,42 @@ int cmd_freeze(int argc, const char* const* argv) {
   const Network net = load_network_file(args.get_string("model"));
   Precision precision = net.precision();
   const std::string p = args.get_string("precision");
-  if (p == "fp32") {
-    precision = Precision::Fp32;
-  } else if (p == "bf16act") {
-    precision = Precision::Bf16Activations;
-  } else if (p == "bf16all") {
-    precision = Precision::Bf16All;
-  } else if (p != "keep") {
-    std::fprintf(stderr, "error: --precision must be keep|fp32|bf16act|bf16all\n");
+  if (p != "keep" && !cli::parse_precision(p, &precision)) {
+    std::fprintf(stderr, "error: %s\n", cli::precision_usage_error(p, true).c_str());
     return 1;
   }
 
-  const infer::PackedModel packed = infer::PackedModel::freeze(net, precision);
-  packed.save_file(args.get_string("out"));
-  std::printf("packed %zu parameters (%.1f MiB serving arena) to %s\n", packed.num_params(),
-              static_cast<double>(packed.arena_bytes()) / (1024.0 * 1024.0),
+  std::optional<infer::PackedModel> packed;
+  if (precision == Precision::Int8) {
+    if (args.get_string("calib").empty()) {
+      std::fprintf(stderr, "error: --precision int8 requires --calib <xc file>\n");
+      return 1;
+    }
+    infer::CalibrationConfig cal;
+    const std::string method = args.get_string("calib-method");
+    if (method == "absmax") {
+      cal.method = infer::CalibrationMethod::AbsMax;
+    } else if (method == "percentile") {
+      cal.method = infer::CalibrationMethod::Percentile;
+    } else {
+      std::fprintf(stderr, "error: --calib-method must be absmax|percentile\n");
+      return 1;
+    }
+    cal.percentile = args.get_double("calib-percentile");
+    cal.max_samples =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("calib-samples")));
+    const data::Dataset calib = data::read_xc_file(args.get_string("calib"));
+    std::vector<data::SparseVectorView> views;
+    views.reserve(calib.size());
+    for (std::size_t i = 0; i < calib.size(); ++i) views.push_back(calib.features(i));
+    packed.emplace(infer::PackedModel::freeze(net, precision, views, cal));
+  } else {
+    packed.emplace(infer::PackedModel::freeze(net, precision));
+  }
+  packed->save_file(args.get_string("out"));
+  std::printf("packed %zu parameters at %s (%.1f MiB serving arena) to %s\n",
+              packed->num_params(), cli::precision_name(packed->precision()),
+              static_cast<double>(packed->arena_bytes()) / (1024.0 * 1024.0),
               args.get_string("out").c_str());
   return 0;
 }
@@ -328,10 +363,7 @@ int cmd_predict(int argc, const char* const* argv) {
   }
   const std::size_t k = std::max<std::size_t>(1, static_cast<std::size_t>(args.get_int("topk")));
   std::printf("model: %zu params, precision=%s, mode=%s, backend=%s, %zu queries\n",
-              packed.num_params(),
-              packed.precision() == Precision::Fp32        ? "fp32"
-              : packed.precision() == Precision::Bf16All   ? "bf16all"
-                                                           : "bf16act",
+              packed.num_params(), cli::precision_name(packed.precision()),
               mode_name.c_str(), kernels::active_isa_name(), n);
 
   std::vector<std::uint32_t> ids(n * k, infer::InferenceEngine::kInvalidId);
