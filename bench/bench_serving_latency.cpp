@@ -3,6 +3,7 @@
 //
 //   ./bench_serving_latency                 # in-process sweep (default)
 //   ./bench_serving_latency --chaos         # fault-injection run (see below)
+//   ./bench_serving_latency --connections   # transport fan-in sweep (see below)
 //   SLIDE_SERVE_CONNECT=127.0.0.1:7070 \
 //   SLIDE_SERVE_QUERIES_FILE=q.test.txt \
 //   ./bench_serving_latency                 # TCP loadgen against slide_cli serve
@@ -33,11 +34,28 @@
 // degraded / error counts, so the overload machinery's cost is visible
 // rather than averaged away.  Override the fault spec with SLIDE_FAULTS.
 //
+// --connections is the high-fan-in transport sweep: for each transport
+// (thread-per-connection vs epoll) it parks a crowd of idle connections,
+// drives a small active subset closed-loop through TcpClients, and reports
+// QPS, p50/p95/p99, process RSS, and the marginal RSS per idle connection.
+// This is the experiment behind the epoll transport's existence: the
+// threaded front end pays a thread stack per idle peer, the reactors pay a
+// few hundred bytes.  Idle counts are clamped to RLIMIT_NOFILE (the soft
+// limit is raised to the hard limit first) and to SLIDE_BENCH_IDLE_CONNS.
+//
 // Env knobs: SLIDE_BENCH_SCALE, SLIDE_BENCH_EPOCHS, SLIDE_BENCH_QUERIES
 // (total per grid cell, default 2000), SLIDE_BENCH_CLIENTS (max client
 // threads, default 8), SLIDE_SERVE_BATCH_MAX, SLIDE_SERVE_DELAY_US,
-// SLIDE_BENCH_DEADLINE_US (chaos deadline budget, default 20000).
+// SLIDE_BENCH_DEADLINE_US (chaos deadline budget, default 20000),
+// SLIDE_BENCH_IDLE_CONNS (--connections idle-crowd cap, default 4096).
 #include "bench_common.h"
+
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
 
 #include <atomic>
 #include <cstring>
@@ -51,6 +69,7 @@
 #include "infer/packed_model.h"
 #include "serve/batching_server.h"
 #include "serve/tcp_server.h"
+#include "serve/transport.h"
 #include "util/fault_injection.h"
 #include "util/histogram.h"
 #include "util/logging.h"
@@ -155,7 +174,10 @@ int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
 
   std::printf("tcp loadgen: %s, %zu queries over %u connections\n", connect.c_str(),
               total, clients);
-  util::ShardedHistogram hist;
+  // Outcomes get separate distributions: a deadline-shed reply returns in
+  // microseconds and an Ok reply in milliseconds — one merged histogram
+  // would let fast failures fake a good tail.
+  util::ShardedHistogram ok_hist, degraded_hist, error_hist;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> failures{0};
   Timer wall;
@@ -171,12 +193,18 @@ int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
           Timer t;
           // The retry path reconnects through dropped/stalled connections,
           // so a fault-armed server still yields a clean loadgen run.
-          if (!client.query_with_retry(queries.features(i % queries.size()), 5, reply) ||
-              reply.status != serve::Status::Ok) {
+          if (!client.query_with_retry(queries.features(i % queries.size()), 5, reply)) {
             failures.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
-          hist.record(static_cast<std::uint64_t>(t.seconds() * 1e6));
+          const auto us = static_cast<std::uint64_t>(t.seconds() * 1e6);
+          if (reply.status != serve::Status::Ok) {
+            error_hist.record(us);
+          } else if (reply.degraded) {
+            degraded_hist.record(us);
+          } else {
+            ok_hist.record(us);
+          }
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "client: %s\n", e.what());
@@ -186,14 +214,178 @@ int run_tcp_loadgen(const std::string& connect, const std::string& queries_file,
   }
   for (auto& t : threads) t.join();
   const double seconds = wall.seconds();
-  const util::HistogramSnapshot s = hist.snapshot();
-  std::printf("ok=%llu failed=%zu  %.0f QPS  latency us: p50=%llu p95=%llu p99=%llu\n",
-              static_cast<unsigned long long>(s.count), failures.load(),
-              static_cast<double>(s.count) / seconds,
-              static_cast<unsigned long long>(s.p50()),
-              static_cast<unsigned long long>(s.p95()),
-              static_cast<unsigned long long>(s.p99()));
-  return failures.load() == 0 && s.count > 0 ? 0 : 1;
+
+  const auto print_outcome = [](const char* name, const util::HistogramSnapshot& s) {
+    if (s.count == 0) {
+      std::printf("  %-9s %8llu\n", name, 0ull);
+      return;
+    }
+    std::printf("  %-9s %8llu  latency us: p50=%llu p95=%llu p99=%llu\n", name,
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.p50()),
+                static_cast<unsigned long long>(s.p95()),
+                static_cast<unsigned long long>(s.p99()));
+  };
+  const util::HistogramSnapshot ok = ok_hist.snapshot();
+  const util::HistogramSnapshot degraded = degraded_hist.snapshot();
+  const util::HistogramSnapshot error = error_hist.snapshot();
+  const std::uint64_t answered = ok.count + degraded.count + error.count;
+  std::printf("answered=%llu failed=%zu  %.0f QPS\n",
+              static_cast<unsigned long long>(answered), failures.load(),
+              static_cast<double>(answered) / seconds);
+  print_outcome("ok", ok);
+  print_outcome("degraded", degraded);
+  print_outcome("error", error);
+  return failures.load() == 0 && ok.count + degraded.count > 0 ? 0 : 1;
+}
+
+// --- --connections: idle fan-in vs tail latency across transports -----------
+
+std::size_t rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Raises the fd soft limit to the hard limit and returns the result: both
+// ends of every idle connection live in this process, so the sweep eats two
+// fds per parked peer.
+std::size_t raise_nofile_limit() {
+  struct rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+    ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return rl.rlim_cur == RLIM_INFINITY ? std::size_t{1} << 20
+                                      : static_cast<std::size_t>(rl.rlim_cur);
+}
+
+int idle_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int run_connection_sweep(infer::InferenceEngine& engine,
+                         std::span<const data::SparseVectorView> queries,
+                         std::size_t total, unsigned active) {
+  const std::size_t fd_limit = raise_nofile_limit();
+  const std::size_t idle_cap = std::min(
+      bench::env_size("SLIDE_BENCH_IDLE_CONNS", 4096),
+      fd_limit > active * 2 + 256 ? (fd_limit - active * 2 - 256) / 2 : 0);
+
+  std::printf("connections sweep: %zu queries per cell, %u active clients, "
+              "idle cap %zu (fd limit %zu)\n",
+              total, active, idle_cap, fd_limit);
+  std::printf("%-9s %6s %7s %10s %8s %8s %8s %9s %12s\n", "transport", "idle",
+              "active", "QPS", "p50us", "p95us", "p99us", "rss_mb", "kb/idleconn");
+  bench::print_rule(84);
+
+  int rc = 0;
+  for (const serve::TransportKind kind :
+       {serve::TransportKind::Threads, serve::TransportKind::Epoll}) {
+    // The threaded transport pays a thread per idle peer, so its crowd stays
+    // small by design — that asymmetry is the point of the table.
+    std::vector<std::size_t> idle_counts =
+        kind == serve::TransportKind::Epoll
+            ? std::vector<std::size_t>{0, 1024, 4096}
+            : std::vector<std::size_t>{0, 256};
+    const std::size_t base_rss = rss_kb();
+
+    for (const std::size_t idle_target : idle_counts) {
+      const std::size_t idle = std::min(idle_target, idle_cap);
+      if (idle < idle_target && idle_target != 0) continue;  // over the fd budget
+
+      serve::ServerConfig scfg;
+      scfg.policy.max_batch_size = bench::env_size("SLIDE_SERVE_BATCH_MAX", 64);
+      scfg.policy.max_queue_delay_us = bench::env_size("SLIDE_SERVE_DELAY_US", 200);
+      scfg.queue_capacity = 4096;
+      scfg.admission = serve::Admission::Reject;
+      scfg.k = 5;
+      scfg.mode = infer::TopKMode::Dense;
+      serve::BatchingServer server(engine, scfg);
+      auto tcp = serve::make_transport(kind, server, {});
+      tcp->start();
+
+      std::vector<int> parked;
+      parked.reserve(idle);
+      while (parked.size() < idle) {
+        const int fd = idle_connect(tcp->port());
+        if (fd < 0) break;  // fd budget exhausted; report what we got
+        parked.push_back(fd);
+      }
+
+      util::ShardedHistogram hist;
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> failures{0};
+      Timer wall;
+      std::vector<std::thread> threads;
+      threads.reserve(active);
+      for (unsigned c = 0; c < active; ++c) {
+        threads.emplace_back([&] {
+          try {
+            serve::TcpClient client("127.0.0.1", tcp->port());
+            serve::QueryReply reply;
+            for (;;) {
+              const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+              if (i >= total) return;
+              Timer t;
+              if (!client.query_with_retry(queries[i % queries.size()], 5, reply) ||
+                  reply.status != serve::Status::Ok) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              hist.record(static_cast<std::uint64_t>(t.seconds() * 1e6));
+            }
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "client: %s\n", e.what());
+            failures.fetch_add(total, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double seconds = wall.seconds();
+      const std::size_t peak_rss = rss_kb();
+
+      const util::HistogramSnapshot s = hist.snapshot();
+      const double per_conn_kb =
+          parked.empty() ? 0.0
+                         : static_cast<double>(peak_rss > base_rss ? peak_rss - base_rss : 0) /
+                               static_cast<double>(parked.size());
+      std::printf("%-9s %6zu %7u %10.0f %8llu %8llu %8llu %9.1f %12.1f\n",
+                  serve::transport_name(kind), parked.size(), active,
+                  static_cast<double>(s.count) / seconds,
+                  static_cast<unsigned long long>(s.p50()),
+                  static_cast<unsigned long long>(s.p95()),
+                  static_cast<unsigned long long>(s.p99()),
+                  static_cast<double>(peak_rss) / 1024.0, per_conn_kb);
+      if (failures.load() != 0 || s.count == 0) rc = 1;
+      if (parked.size() < idle) {
+        std::printf("  (idle crowd clamped from %zu: out of fds)\n", idle);
+      }
+
+      for (const int fd : parked) ::close(fd);
+      tcp->stop();
+    }
+    bench::print_rule(84);
+  }
+  return rc;
 }
 
 // One hostile cell: small queue + deadlines + armed faults.  Reports the
@@ -303,8 +495,10 @@ int main(int argc, char** argv) {
   using namespace slide;
 
   bool chaos = false;
+  bool connections = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--connections") == 0) connections = true;
   }
 
   if (const char* connect = std::getenv("SLIDE_SERVE_CONNECT")) {
@@ -317,9 +511,11 @@ int main(int argc, char** argv) {
                            static_cast<unsigned>(bench::env_size("SLIDE_BENCH_CLIENTS", 4)));
   }
 
-  bench::print_header(chaos ? "Serving under chaos: deadlines, shedding, degradation"
-                            : "Serving latency: dynamic micro-batching vs per-request "
-                              "dispatch");
+  bench::print_header(
+      chaos ? "Serving under chaos: deadlines, shedding, degradation"
+      : connections
+          ? "Serving fan-in: idle connections vs tail latency per transport"
+          : "Serving latency: dynamic micro-batching vs per-request dispatch");
   set_log_level(LogLevel::Warn);  // keep the table clean
 
   bench::Workload w = bench::make_workload(baseline::PaperDataset::Amazon670k);
@@ -348,6 +544,10 @@ int main(int argc, char** argv) {
     infer::InferenceEngine engine(packed_fp32);
     return run_chaos(engine, queries, total, max_clients,
                      bench::env_size("SLIDE_BENCH_DEADLINE_US", 20000));
+  }
+  if (connections) {
+    infer::InferenceEngine engine(packed_fp32);
+    return run_connection_sweep(engine, queries, total, max_clients);
   }
 
   const infer::PackedModel packed_bf16 =

@@ -22,14 +22,6 @@ std::uint64_t micros_between(Clock::time_point a, Clock::time_point b) {
   return us <= 0 ? 0 : static_cast<std::uint64_t>(us);
 }
 
-std::future<Reply> immediate_reply(RequestStatus status) {
-  std::promise<Reply> p;
-  Reply r;
-  r.status = status;
-  p.set_value(std::move(r));
-  return p.get_future();
-}
-
 unsigned pool_width(ThreadPool* pool) {
   return (pool != nullptr ? *pool : global_pool()).size();
 }
@@ -60,27 +52,26 @@ BatchingServer::BatchingServer(infer::InferenceEngine& engine, ServerConfig conf
 
 BatchingServer::~BatchingServer() { drain(); }
 
-std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_t k,
-                                          std::uint64_t deadline_us) {
+void BatchingServer::complete(Pending& req, Reply&& reply) {
+  if (req.callback) {
+    req.callback(std::move(reply));
+  } else {
+    req.promise.set_value(std::move(reply));
+  }
+}
+
+RequestStatus BatchingServer::admit(Pending& req, bool may_block) {
   auto& faults = util::FaultInjector::instance();
   if (faults.enabled() && faults.should_fail(util::FaultPoint::AdmissionFail)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    return immediate_reply(RequestStatus::Rejected);
+    return RequestStatus::Rejected;
   }
-
-  Pending req;
-  req.indices.assign(x.indices, x.indices + x.nnz);
-  req.values.assign(x.values, x.values + x.nnz);
-  req.k = k;
-  req.enqueued = Clock::now();
-  req.deadline = deadline_from_budget(req.enqueued, deadline_us);
-  std::future<Reply> future = req.promise.get_future();
 
   Pending victim;
   bool have_victim = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (config_.admission == Admission::Block) {
+    if (may_block && config_.admission == Admission::Block) {
       const auto space = [&] {
         return stopping_.load(std::memory_order_relaxed) ||
                queue_.size() < config_.queue_capacity;
@@ -90,13 +81,13 @@ std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_
       } else if (!space_cv_.wait_until(lock, req.deadline, space)) {
         // The producer's budget ran out while parked on a full queue.
         expired_count_.fetch_add(1, std::memory_order_relaxed);
-        return immediate_reply(RequestStatus::DeadlineExceeded);
+        return RequestStatus::DeadlineExceeded;
       }
     }
     if (stopping_.load(std::memory_order_relaxed)) {
-      return immediate_reply(RequestStatus::ShuttingDown);
+      return RequestStatus::ShuttingDown;
     }
-    if (queue_.size() >= config_.queue_capacity) {  // Reject mode: queue full
+    if (queue_.size() >= config_.queue_capacity) {  // queue full
       // Deadline-aware shedding: evict the queued request with the MOST
       // remaining slack (no-deadline requests count as infinite slack) when
       // the newcomer's deadline is strictly tighter — requests closest to
@@ -112,7 +103,7 @@ std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_
       }
       if (victim_it == queue_.end()) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
-        return immediate_reply(RequestStatus::Rejected);
+        return RequestStatus::Rejected;
       }
       victim = std::move(*victim_it);
       queue_.erase(victim_it);
@@ -125,10 +116,47 @@ std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_
   if (have_victim) {
     Reply r;
     r.status = RequestStatus::Rejected;
-    victim.promise.set_value(std::move(r));
+    complete(victim, std::move(r));
   }
   work_cv_.notify_one();
+  return RequestStatus::Ok;
+}
+
+std::future<Reply> BatchingServer::submit(data::SparseVectorView x, std::uint32_t k,
+                                          std::uint64_t deadline_us) {
+  Pending req;
+  req.indices.assign(x.indices, x.indices + x.nnz);
+  req.values.assign(x.values, x.values + x.nnz);
+  req.k = k;
+  req.enqueued = Clock::now();
+  req.deadline = deadline_from_budget(req.enqueued, deadline_us);
+  std::future<Reply> future = req.promise.get_future();
+
+  const RequestStatus admitted = admit(req, /*may_block=*/true);
+  if (admitted != RequestStatus::Ok) {
+    Reply r;
+    r.status = admitted;
+    complete(req, std::move(r));
+  }
   return future;
+}
+
+void BatchingServer::submit_async(data::SparseVectorView x, std::uint32_t k,
+                                  std::uint64_t deadline_us, SubmitCallback done) {
+  Pending req;
+  req.indices.assign(x.indices, x.indices + x.nnz);
+  req.values.assign(x.values, x.values + x.nnz);
+  req.k = k;
+  req.enqueued = Clock::now();
+  req.deadline = deadline_from_budget(req.enqueued, deadline_us);
+  req.callback = std::move(done);
+
+  const RequestStatus admitted = admit(req, /*may_block=*/false);
+  if (admitted != RequestStatus::Ok) {
+    Reply r;
+    r.status = admitted;
+    complete(req, std::move(r));
+  }
 }
 
 void BatchingServer::drain() {
@@ -190,7 +218,7 @@ void BatchingServer::dispatcher_main() {
       Reply r;
       r.status = RequestStatus::DeadlineExceeded;
       expired_count_.fetch_add(1, std::memory_order_relaxed);
-      p.promise.set_value(std::move(r));
+      complete(p, std::move(r));
     }
     expired_.clear();
   };
@@ -326,7 +354,7 @@ void BatchingServer::run_batch(std::vector<Pending>& batch, bool degraded) {
           completed_.fetch_add(1, std::memory_order_relaxed);
           if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
           answered[q].store(true, std::memory_order_release);
-          req.promise.set_value(std::move(reply));
+          complete(req, std::move(reply));
         });
   } catch (const std::exception& e) {
     // Engine failure: the batch's unanswered requests get an error reply —
@@ -338,7 +366,7 @@ void BatchingServer::run_batch(std::vector<Pending>& batch, bool degraded) {
       Reply reply;
       reply.status = RequestStatus::Error;
       errors_.fetch_add(1, std::memory_order_relaxed);
-      batch[q].promise.set_value(std::move(reply));
+      complete(batch[q], std::move(reply));
     }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);

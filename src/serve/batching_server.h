@@ -63,6 +63,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -170,6 +171,21 @@ class BatchingServer {
   std::future<Reply> submit(data::SparseVectorView x, std::uint32_t k = 0,
                             std::uint64_t deadline_us = 0);
 
+  // Completion callback for submit_async.  Runs on whatever thread completes
+  // the request — an engine pool worker, the dispatcher, or (for immediate
+  // rejections) the submitting thread itself — so it must be cheap and
+  // non-blocking; the epoll transport just encodes the frame and hands it to
+  // the owning reactor.  Invoked exactly once, never under server locks.
+  using SubmitCallback = std::function<void(Reply&&)>;
+
+  // Callback flavor of submit() for event-driven callers that cannot park a
+  // thread on a future.  Identical semantics with one exception: it NEVER
+  // blocks, so under Admission::Block a full queue rejects instead of
+  // parking the caller (an event loop supplies its own backpressure by
+  // pausing reads; blocking a reactor would stall every other connection).
+  void submit_async(data::SparseVectorView x, std::uint32_t k,
+                    std::uint64_t deadline_us, SubmitCallback done);
+
   // Stops admission, completes everything already accepted, joins the
   // dispatcher.  Idempotent; safe to race with submitters.
   void drain();
@@ -189,8 +205,18 @@ class BatchingServer {
     std::uint32_t k = 0;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
-    std::promise<Reply> promise;
+    std::promise<Reply> promise;   // future path (submit)
+    SubmitCallback callback;       // callback path (submit_async); wins if set
   };
+
+  // Every completion funnels through here so both waiter styles (future and
+  // callback) see identical reply semantics.  Never called under mutex_.
+  static void complete(Pending& req, Reply&& reply);
+
+  // Shared admission core: fault hook, optional Block-mode wait, stop check,
+  // queue-full shedding, enqueue.  Returns Ok with `req` consumed (queued),
+  // or the failure status with `req` untouched for the caller to complete.
+  RequestStatus admit(Pending& req, bool may_block);
 
   void dispatcher_main();
   void run_batch(std::vector<Pending>& batch, bool degraded);

@@ -1,0 +1,182 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/protocol.h"
+
+namespace slide::serve::net {
+
+IoResult wait_ready(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (r > 0) return IoResult::Ok;
+    if (r == 0) return IoResult::Timeout;
+    if (errno != EINTR) return IoResult::Error;
+  }
+}
+
+IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    if (timeout_ms > 0) {
+      const IoResult ready = wait_ready(fd, POLLIN, timeout_ms);
+      if (ready != IoResult::Ok) return ready;
+    }
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return IoResult::Eof;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
+      return IoResult::Error;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return IoResult::Ok;
+}
+
+IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    if (timeout_ms > 0) {
+      const IoResult ready = wait_ready(fd, POLLOUT, timeout_ms);
+      if (ready != IoResult::Ok) return ready;
+    }
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
+      return IoResult::Error;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return IoResult::Ok;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload, int timeout_ms) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  return write_full(fd, &len, sizeof(len), timeout_ms) == IoResult::Ok &&
+         write_full(fd, payload.data(), payload.size(), timeout_ms) == IoResult::Ok;
+}
+
+IoResult read_frame(int fd, std::vector<std::uint8_t>& payload, int timeout_ms) {
+  std::uint32_t len = 0;
+  const IoResult header = read_full(fd, &len, sizeof(len), timeout_ms);
+  if (header != IoResult::Ok) return header;
+  if (len > kMaxPayloadBytes) throw std::runtime_error("oversized frame");
+  payload.resize(len);
+  if (len == 0) return IoResult::Ok;
+  const IoResult body = read_full(fd, payload.data(), len, timeout_ms);
+  // A clean close mid-frame is still a broken peer, not a graceful EOF.
+  return body == IoResult::Eof ? IoResult::Error : body;
+}
+
+void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void enable_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return want == flags || ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+int create_listener(const std::string& bind_address, std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind " + bind_address);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int connect_with_timeout(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad server address: " + host);
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect " + host);
+    }
+    if (wait_ready(fd, POLLOUT, timeout_ms) != IoResult::Ok) {
+      ::close(fd);
+      throw std::runtime_error("connect " + host + ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      throw_errno("connect " + host);
+    }
+  }
+  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags);
+  enable_nodelay(fd);
+  return fd;
+}
+
+}  // namespace slide::serve::net

@@ -1,10 +1,5 @@
 #include "serve/tcp_server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,177 +11,18 @@
 #include <thread>
 #include <utility>
 
+#include "serve/net.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace slide::serve {
 
-namespace {
+using net::IoResult;
 
-enum class IoResult { Ok, Eof, Timeout, Error };
-
-// Waits (EINTR-safe) until `fd` is ready for `events`.  timeout_ms <= 0
-// blocks forever.  Ok / Timeout / Error.
-IoResult wait_ready(int fd, short events, int timeout_ms) {
-  pollfd pfd{fd, events, 0};
-  for (;;) {
-    const int r = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
-    if (r > 0) return IoResult::Ok;
-    if (r == 0) return IoResult::Timeout;
-    if (errno != EINTR) return IoResult::Error;
-  }
-}
-
-// EINTR-safe full-buffer read.  timeout_ms > 0 bounds the wait for EACH
-// chunk via poll (so the overall call finishes unless the peer keeps
-// trickling bytes); EAGAIN from a socket-level receive timeout maps to
-// Timeout as well.
-IoResult read_full(int fd, void* buf, std::size_t n, int timeout_ms = 0) {
-  auto* p = static_cast<std::uint8_t*>(buf);
-  while (n > 0) {
-    if (timeout_ms > 0) {
-      const IoResult ready = wait_ready(fd, POLLIN, timeout_ms);
-      if (ready != IoResult::Ok) return ready;
-    }
-    const ssize_t got = ::recv(fd, p, n, 0);
-    if (got == 0) return IoResult::Eof;
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
-      return IoResult::Error;
-    }
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return IoResult::Ok;
-}
-
-IoResult write_full(int fd, const void* buf, std::size_t n, int timeout_ms = 0) {
-  const auto* p = static_cast<const std::uint8_t*>(buf);
-  while (n > 0) {
-    if (timeout_ms > 0) {
-      const IoResult ready = wait_ready(fd, POLLOUT, timeout_ms);
-      if (ready != IoResult::Ok) return ready;
-    }
-    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::Timeout;
-      return IoResult::Error;
-    }
-    p += put;
-    n -= static_cast<std::size_t>(put);
-  }
-  return IoResult::Ok;
-}
-
-bool write_frame(int fd, const std::vector<std::uint8_t>& payload,
-                 int timeout_ms = 0) {
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  return write_full(fd, &len, sizeof(len), timeout_ms) == IoResult::Ok &&
-         write_full(fd, payload.data(), payload.size(), timeout_ms) == IoResult::Ok;
-}
-
-// Reads one frame.  Eof = clean close before a header; Timeout = the peer
-// went idle (or stalled mid-frame); oversized frames throw to kill the
-// connection (the peer is not speaking our protocol).
-IoResult read_frame(int fd, std::vector<std::uint8_t>& payload, int timeout_ms = 0) {
-  std::uint32_t len = 0;
-  const IoResult header = read_full(fd, &len, sizeof(len), timeout_ms);
-  if (header != IoResult::Ok) return header;
-  if (len > kMaxPayloadBytes) throw std::runtime_error("oversized frame");
-  payload.resize(len);
-  if (len == 0) return IoResult::Ok;
-  const IoResult body = read_full(fd, payload.data(), len, timeout_ms);
-  // A clean close mid-frame is still a broken peer, not a graceful EOF.
-  return body == IoResult::Eof ? IoResult::Error : body;
-}
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-void enable_nodelay(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-// Non-blocking connect with a poll-bounded wait, restored to blocking mode
-// on success.  Returns the connected fd; throws on failure/timeout.
-int connect_with_timeout(const std::string& host, std::uint16_t port,
-                         int timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("bad server address: " + host);
-  }
-
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc < 0 && errno == EINTR);
-  if (rc < 0) {
-    if (errno != EINPROGRESS) {
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      throw_errno("connect " + host);
-    }
-    if (wait_ready(fd, POLLOUT, timeout_ms) != IoResult::Ok) {
-      ::close(fd);
-      throw std::runtime_error("connect " + host + ": timed out");
-    }
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
-      ::close(fd);
-      errno = err != 0 ? err : errno;
-      throw_errno("connect " + host);
-    }
-  }
-  if (timeout_ms > 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags);
-  enable_nodelay(fd);
-  return fd;
-}
-
-}  // namespace
-
-TcpServer::TcpServer(BatchingServer& server, TcpServerConfig config)
+TcpServer::TcpServer(BatchingServer& server, TransportConfig config)
     : server_(server), config_(std::move(config)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw std::runtime_error("bad bind address: " + config_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(listen_fd_);
-    throw_errno("bind " + config_.bind_address);
-  }
-  if (::listen(listen_fd_, config_.backlog) < 0) {
-    ::close(listen_fd_);
-    throw_errno("listen");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    ::close(listen_fd_);
-    throw_errno("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
+  listen_fd_ =
+      net::create_listener(config_.bind_address, config_.port, config_.backlog, &port_);
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -223,6 +59,14 @@ void TcpServer::stop() {
   server_.drain();
 }
 
+TransportStats TcpServer::stats() const {
+  TransportStats s;
+  s.connections_accepted = connections_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void TcpServer::accept_main() {
   log_info("serve: listening on ", config_.bind_address, ":", port_);
   for (;;) {
@@ -230,9 +74,18 @@ void TcpServer::accept_main() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (stopping_.load(std::memory_order_acquire)) return;
-      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
-          errno == ENOBUFS || errno == ENOMEM) {
-        // Transient (peer gave up / fd or buffer pressure): keep accepting.
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: nothing frees up instantly, so back off long
+        // enough for a connection to close rather than spinning on the
+        // full table (the pending peer waits in the listen backlog).
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        log_warn("serve: accept failed (fd exhaustion, backing off): ",
+                 std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      if (errno == ECONNABORTED || errno == ENOBUFS || errno == ENOMEM) {
+        // Transient (peer gave up / buffer pressure): keep accepting.
         log_warn("serve: accept failed (transient): ", std::strerror(errno));
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
@@ -240,7 +93,7 @@ void TcpServer::accept_main() {
       log_warn("serve: accept failed: ", std::strerror(errno));
       return;
     }
-    enable_nodelay(fd);
+    net::enable_nodelay(fd);
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
@@ -252,17 +105,6 @@ void TcpServer::accept_main() {
   }
 }
 
-// Indices must fall inside the model's feature space and be strictly
-// increasing (the engine's sparse kernels index weight rows with them
-// unchecked — a wild index from the wire would read out of the arena).
-static bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim) {
-  for (std::size_t i = 0; i < req.indices.size(); ++i) {
-    if (req.indices[i] >= input_dim) return false;
-    if (i > 0 && req.indices[i] <= req.indices[i - 1]) return false;
-  }
-  return true;
-}
-
 void TcpServer::connection_main(int fd) {
   const std::size_t input_dim = server_.engine().model().input_dim();
   const int idle_ms = config_.idle_timeout_ms;
@@ -271,7 +113,7 @@ void TcpServer::connection_main(int fd) {
   QueryRequest req;
   try {
     for (;;) {
-      const IoResult got = read_frame(fd, payload, idle_ms);
+      const IoResult got = net::read_frame(fd, payload, idle_ms);
       if (got == IoResult::Timeout) {
         idle_closed_.fetch_add(1, std::memory_order_relaxed);
         log_info("serve: closing idle connection");
@@ -281,16 +123,16 @@ void TcpServer::connection_main(int fd) {
       std::string reason;
       const Status parsed = decode_query(payload, req, &reason);
       if (parsed != Status::Ok) {
-        if (!write_frame(fd, encode_error_reply(parsed, reason), idle_ms)) break;
+        if (!net::write_frame(fd, encode_error_reply(parsed, reason), idle_ms)) break;
         continue;
       }
       if (!valid_feature_indices(req, input_dim)) {
-        if (!write_frame(fd,
-                         encode_error_reply(
-                             Status::BadRequest,
-                             "feature indices must be strictly increasing "
-                             "and below the model input dim"),
-                         idle_ms)) {
+        if (!net::write_frame(fd,
+                              encode_error_reply(
+                                  Status::BadRequest,
+                                  "feature indices must be strictly increasing "
+                                  "and below the model input dim"),
+                              idle_ms)) {
           break;
         }
         continue;
@@ -305,35 +147,7 @@ void TcpServer::connection_main(int fd) {
         }
         faults.maybe_delay(util::FaultPoint::SocketStall);
       }
-      bool sent = false;
-      switch (reply.status) {
-        case RequestStatus::Ok:
-          sent = write_frame(fd, encode_reply(reply.ids, reply.scores, reply.degraded),
-                             idle_ms);
-          break;
-        case RequestStatus::Rejected:
-          sent = write_frame(
-              fd, encode_error_reply(Status::Overloaded, "queue full, retry later"),
-              idle_ms);
-          break;
-        case RequestStatus::ShuttingDown:
-          sent = write_frame(
-              fd, encode_error_reply(Status::ShuttingDown, "server is draining"),
-              idle_ms);
-          break;
-        case RequestStatus::DeadlineExceeded:
-          sent = write_frame(fd,
-                             encode_error_reply(Status::DeadlineExceeded,
-                                                "deadline expired before dispatch"),
-                             idle_ms);
-          break;
-        case RequestStatus::Error:
-          sent = write_frame(
-              fd, encode_error_reply(Status::InternalError, "engine failure"),
-              idle_ms);
-          break;
-      }
-      if (!sent) break;
+      if (!net::write_frame(fd, encode_reply_payload(reply), idle_ms)) break;
     }
   } catch (const std::exception& e) {
     log_warn("serve: dropping connection: ", e.what());
@@ -363,7 +177,7 @@ TcpClient::TcpClient(const std::string& host, std::uint16_t port,
       rng_(static_cast<std::uint64_t>(
                std::chrono::steady_clock::now().time_since_epoch().count()) ^
            reinterpret_cast<std::uintptr_t>(this) ^ 0x9E3779B97F4A7C15ull) {
-  fd_ = connect_with_timeout(host_, port_, config_.connect_timeout_ms);
+  fd_ = net::connect_with_timeout(host_, port_, config_.connect_timeout_ms);
 }
 
 TcpClient::~TcpClient() { close(); }
@@ -378,7 +192,7 @@ void TcpClient::close() {
 bool TcpClient::reconnect() {
   close();
   try {
-    fd_ = connect_with_timeout(host_, port_, config_.connect_timeout_ms);
+    fd_ = net::connect_with_timeout(host_, port_, config_.connect_timeout_ms);
   } catch (const std::exception&) {
     return false;
   }
@@ -428,10 +242,10 @@ bool TcpClient::query_with_retry(data::SparseVectorView x, std::uint32_t k,
 
 bool TcpClient::round_trip_raw(const std::vector<std::uint8_t>& payload,
                                QueryReply& reply) {
-  if (fd_ < 0 || !write_frame(fd_, payload, config_.io_timeout_ms)) return false;
+  if (fd_ < 0 || !net::write_frame(fd_, payload, config_.io_timeout_ms)) return false;
   std::vector<std::uint8_t> in;
   try {
-    if (read_frame(fd_, in, config_.io_timeout_ms) != IoResult::Ok) return false;
+    if (net::read_frame(fd_, in, config_.io_timeout_ms) != IoResult::Ok) return false;
   } catch (const std::exception&) {
     return false;
   }

@@ -1,4 +1,4 @@
-// Length-prefixed binary TCP front end over the BatchingServer, plus the
+// Thread-per-connection TCP front end over the BatchingServer, plus the
 // matching blocking client used by the load generator and the tests.
 //
 // One accept-loop thread, one thread per connection.  A connection speaks
@@ -7,12 +7,17 @@
 // (batching, engine fan-out) happens behind the BatchingServer, so a
 // connection thread is just parse -> submit -> wait -> reply.
 //
+// This is the simple half of the ServerTransport seam (serve/transport.h);
+// serve/epoll_server.h is the event-driven half for high fan-in.
+//
 // Robustness:
 //   * All socket I/O goes through unified EINTR-safe read_full/write_full
-//     helpers with optional poll-based timeouts.
+//     helpers (serve/net.h) with optional poll-based timeouts.
 //   * A connection idle longer than `idle_timeout_ms` (no new frame, or a
 //     peer stalled mid-frame) is closed cleanly, so abandoned clients can't
 //     pin connection threads forever.
+//   * accept() hitting fd exhaustion (EMFILE/ENFILE) backs off briefly and
+//     counts an accept_backoff instead of spinning or dying.
 //   * Malformed frames (bad version, nnz mismatch, trailing bytes) get a
 //     BadRequest reply and the connection stays usable; an oversized length
 //     prefix closes the connection (the peer is not speaking our protocol).
@@ -36,32 +41,30 @@
 
 #include "serve/batching_server.h"
 #include "serve/protocol.h"
+#include "serve/transport.h"
 
 namespace slide::serve {
 
-struct TcpServerConfig {
-  std::string bind_address = "127.0.0.1";
-  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
-  int backlog = 64;
-  // Close a connection after this long with no complete frame activity
-  // (also bounds how long a peer may stall mid-frame).  0 = no timeout.
-  int idle_timeout_ms = 0;
-};
+// The threaded transport predates the ServerTransport seam; its old config
+// name survives as an alias for the shared one.
+using TcpServerConfig = TransportConfig;
 
-class TcpServer {
+class TcpServer final : public ServerTransport {
  public:
   // Binds and listens immediately (throws std::runtime_error on failure) so
   // the caller can report the resolved ephemeral port before serving.
-  TcpServer(BatchingServer& server, TcpServerConfig config);
-  ~TcpServer();  // implicit stop()
+  TcpServer(BatchingServer& server, TransportConfig config);
+  ~TcpServer() override;  // implicit stop()
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const override { return port_; }
 
-  void start();  // launches the accept loop; idempotent
-  void stop();   // graceful: unblock + join everything; idempotent
+  void start() override;  // launches the accept loop; idempotent
+  void stop() override;   // graceful: unblock + join everything; idempotent
+
+  TransportStats stats() const override;
 
   std::uint64_t connections_accepted() const {
     return connections_.load(std::memory_order_relaxed);
@@ -75,13 +78,14 @@ class TcpServer {
   void connection_main(int fd);
 
   BatchingServer& server_;
-  const TcpServerConfig config_;
+  const TransportConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> accept_backoffs_{0};
   std::mutex stop_mutex_;  // serializes concurrent stop() calls on the joins
   std::thread accept_thread_;
   std::mutex conn_mutex_;            // guards open_fds_ / threads_
@@ -104,7 +108,8 @@ struct TcpClientConfig {
 
 // Blocking client for one TCP connection; used by the bench load generator,
 // the CI loopback smoke test, and test_serving.  Not thread-safe: one
-// client per client thread.
+// client per client thread.  Transport-agnostic on the server side: the
+// wire framing is identical under both transports.
 //
 // A transport failure (timeout, reset, malformed reply) leaves the client
 // half-open: fd closed, host/port retained.  query_with_retry() reconnects

@@ -1,0 +1,78 @@
+#include "serve/transport.h"
+
+#include "serve/tcp_server.h"
+#ifdef __linux__
+#include "serve/epoll_server.h"
+#endif
+
+namespace slide::serve {
+
+const char* transport_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::Threads: return "threads";
+    case TransportKind::Epoll: return "epoll";
+  }
+  return "?";
+}
+
+bool parse_transport(const std::string& name, TransportKind& out) {
+  if (name == "threads") {
+    out = TransportKind::Threads;
+    return true;
+  }
+  if (name == "epoll") {
+    out = TransportKind::Epoll;
+    return true;
+  }
+  return false;
+}
+
+TransportKind default_transport() {
+#ifdef __linux__
+  return TransportKind::Epoll;
+#else
+  return TransportKind::Threads;
+#endif
+}
+
+std::unique_ptr<ServerTransport> make_transport(TransportKind kind,
+                                                BatchingServer& server,
+                                                TransportConfig config) {
+#ifdef __linux__
+  if (kind == TransportKind::Epoll) {
+    return std::make_unique<EpollServer>(server, std::move(config));
+  }
+#else
+  if (kind == TransportKind::Epoll) {
+    throw std::runtime_error("epoll transport requires Linux; use --transport threads");
+  }
+#endif
+  return std::make_unique<TcpServer>(server, std::move(config));
+}
+
+std::vector<std::uint8_t> encode_reply_payload(const Reply& reply) {
+  switch (reply.status) {
+    case RequestStatus::Ok:
+      return encode_reply(reply.ids, reply.scores, reply.degraded);
+    case RequestStatus::Rejected:
+      return encode_error_reply(Status::Overloaded, "queue full, retry later");
+    case RequestStatus::ShuttingDown:
+      return encode_error_reply(Status::ShuttingDown, "server is draining");
+    case RequestStatus::DeadlineExceeded:
+      return encode_error_reply(Status::DeadlineExceeded,
+                                "deadline expired before dispatch");
+    case RequestStatus::Error:
+      return encode_error_reply(Status::InternalError, "engine failure");
+  }
+  return encode_error_reply(Status::InternalError, "unknown status");
+}
+
+bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim) {
+  for (std::size_t i = 0; i < req.indices.size(); ++i) {
+    if (req.indices[i] >= input_dim) return false;
+    if (i > 0 && req.indices[i] <= req.indices[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace slide::serve

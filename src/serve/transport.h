@@ -1,0 +1,100 @@
+// ServerTransport: the seam between the wire front ends and the batching
+// core.  Both implementations serve the same serve/protocol.h framing over
+// TCP and differ only in how connections map onto threads:
+//
+//   * TcpServer (serve/tcp_server.h) — thread per connection.  Simple,
+//     great tail latency at modest fan-in, but each idle connection pins a
+//     stack, so it tops out around hundreds of peers.
+//   * EpollServer (serve/epoll_server.h) — a small fixed pool of epoll
+//     reactors multiplexing every connection.  Holds tens of thousands of
+//     mostly-idle peers in a 4-thread budget.
+//
+// The framing, deadline plumbing, degradation flags, and fault-injection
+// behavior are transport-independent: BatchingServer and protocol.h never
+// know which front end carried the bytes.  slide_cli picks one with
+// `serve --transport {threads,epoll}`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batching_server.h"
+#include "serve/protocol.h"
+
+namespace slide::serve {
+
+// Superset of both transports' knobs; each transport reads what applies to
+// it and ignores the rest (TcpServer has no write queue, so the epoll-only
+// fields are inert there).
+struct TransportConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+  int backlog = 256;
+  // Close a connection after this long with no complete frame activity
+  // (also bounds how long a peer may stall mid-frame).  0 = no timeout.
+  int idle_timeout_ms = 0;
+
+  // --- epoll transport only ---
+  // Reactor (event-loop) threads.  0 = min(4, hardware_concurrency).
+  int reactors = 0;
+  // A connection whose unsent reply backlog exceeds this many bytes is
+  // disconnected — a peer that stops reading cannot grow server memory
+  // without bound.  Must comfortably exceed the largest single reply.
+  std::size_t max_write_backlog_bytes = 16u << 20;
+  // Reads pause (EPOLLIN off) once a connection has this many submitted-
+  // but-unanswered queries — per-connection pipelining backpressure.
+  std::size_t max_in_flight_per_conn = 256;
+  // stop(): how long to wait for in-flight replies to flush to slow peers
+  // before force-closing them.  The engine-side answer always completes;
+  // this only bounds delivery.
+  int drain_timeout_ms = 5000;
+};
+
+struct TransportStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t idle_closed = 0;
+  // accept() hit EMFILE/ENFILE (fd exhaustion) and the accept path backed
+  // off before retrying.  A nonzero value under load means raise ulimit -n.
+  std::uint64_t accept_backoffs = 0;
+  // Connections dropped for exceeding max_write_backlog_bytes (epoll only).
+  std::uint64_t overflow_closed = 0;
+};
+
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  virtual std::uint16_t port() const = 0;
+  virtual void start() = 0;  // idempotent
+  virtual void stop() = 0;   // graceful; idempotent
+  virtual TransportStats stats() const = 0;
+};
+
+enum class TransportKind { Threads, Epoll };
+
+const char* transport_name(TransportKind kind);
+// Accepts "threads" / "epoll"; false on anything else.
+bool parse_transport(const std::string& name, TransportKind& out);
+// Epoll where available (Linux); threads elsewhere.
+TransportKind default_transport();
+
+// Constructs the transport bound and listening (throws std::runtime_error
+// on bind failure); call start() to begin serving.
+std::unique_ptr<ServerTransport> make_transport(TransportKind kind,
+                                                BatchingServer& server,
+                                                TransportConfig config);
+
+// --- shared wire-level helpers (used by both transports) ---
+
+// Maps a batching-core Reply onto its wire frame payload: Ok rows become
+// result frames, everything else the corresponding protocol error status.
+std::vector<std::uint8_t> encode_reply_payload(const Reply& reply);
+
+// Indices must fall inside the model's feature space and be strictly
+// increasing (the engine's sparse kernels index weight rows with them
+// unchecked — a wild index from the wire would read out of the arena).
+bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim);
+
+}  // namespace slide::serve

@@ -1,0 +1,59 @@
+// Thin RAII wrapper over Linux eventfd(2), the wakeup primitive the epoll
+// reactor uses to get off-thread work (engine-completed replies, freshly
+// accepted connections, stop requests) into its event loop.
+//
+// The counter semantics are exactly what a wakeup channel wants: any number
+// of producer threads signal() without blocking (the kernel adds into one
+// u64), and the single consumer registers the fd for EPOLLIN and drain()s
+// it once per wakeup — N signals coalesce into one readable event instead
+// of queueing N tokens.  Created non-blocking, so drain() on an
+// already-empty fd is a no-op rather than a hang.
+#pragma once
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <stdexcept>
+
+namespace slide::util {
+
+class EventFd {
+ public:
+  EventFd() : fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+    if (fd_ < 0) throw std::runtime_error("eventfd creation failed");
+  }
+  ~EventFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  int fd() const { return fd_; }
+
+  // Thread-safe producer side; never blocks (the counter saturates long
+  // before a write could, and a full counter still leaves the fd readable).
+  void signal() const {
+    const std::uint64_t one = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(fd_, &one, sizeof(one));
+    } while (rc < 0 && errno == EINTR);
+  }
+
+  // Consumer side: clears the counter so the next epoll_wait blocks again.
+  void drain() const {
+    std::uint64_t value;
+    ssize_t rc;
+    do {
+      rc = ::read(fd_, &value, sizeof(value));
+    } while (rc < 0 && errno == EINTR);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace slide::util

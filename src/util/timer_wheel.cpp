@@ -1,0 +1,63 @@
+#include "util/timer_wheel.h"
+
+#include <algorithm>
+
+namespace slide::util {
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t num_slots)
+    : slots_(std::max<std::size_t>(1, num_slots)),
+      tick_ms_(std::max<std::uint64_t>(1, tick_ms)),
+      current_tick_(0) {}
+
+void TimerWheel::schedule(std::uint64_t id, std::uint64_t fire_at_ms) {
+  slots_[slot_of(fire_at_ms)].push_back({id, fire_at_ms});
+  ++size_;
+}
+
+std::int64_t TimerWheel::ms_until_next(std::uint64_t now_ms) const {
+  if (size_ == 0) return -1;
+  // Scan at most one rotation ahead of `now` for the first occupied slot.
+  // Entries in it may still be a rotation out, so this is a lower bound —
+  // an early epoll wakeup that finds nothing expired is harmless.
+  const std::uint64_t now_tick = now_ms / tick_ms_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::uint64_t tick = now_tick + i;
+    if (!slots_[tick % slots_.size()].empty()) {
+      const std::uint64_t slot_end = (tick + 1) * tick_ms_;
+      return slot_end <= now_ms ? 0 : static_cast<std::int64_t>(slot_end - now_ms);
+    }
+  }
+  return static_cast<std::int64_t>(slots_.size() * tick_ms_);
+}
+
+void TimerWheel::advance(std::uint64_t now_ms, std::vector<std::uint64_t>& expired) {
+  const std::uint64_t now_tick = now_ms / tick_ms_;
+  if (!started_) {
+    // First advance: treat everything up to now as one sweep.
+    current_tick_ = now_tick >= slots_.size() ? now_tick - slots_.size() : 0;
+    started_ = true;
+  }
+  if (now_tick < current_tick_) return;  // caller's clock went backwards; ignore
+  // A gap wider than one rotation revisits every slot exactly once.  The
+  // loop starts at t = 0 — the CURRENT tick's slot is reswept every call —
+  // so an entry scheduled into the in-progress tick still fires this pass
+  // instead of a rotation late.
+  const std::uint64_t ticks = std::min<std::uint64_t>(
+      now_tick - current_tick_, static_cast<std::uint64_t>(slots_.size()));
+  for (std::uint64_t t = 0; t <= ticks; ++t) {
+    auto& slot = slots_[(current_tick_ + t) % slots_.size()];
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].fire_at_ms <= now_ms) {
+        expired.push_back(slot[i].id);
+        slot[i] = slot.back();
+        slot.pop_back();
+        --size_;
+      } else {
+        ++i;  // a later rotation's entry; leave it
+      }
+    }
+  }
+  current_tick_ = now_tick;
+}
+
+}  // namespace slide::util

@@ -1,0 +1,73 @@
+// Hashed timer wheel: O(1) schedule and amortized-O(1) expiry for the
+// thousands of coarse timers an event-driven server carries (one idle
+// deadline per connection, plus occasional one-shots like an accept
+// backoff).  A sorted structure (std::map / priority_queue) pays O(log n)
+// per reschedule, and idle timers are rescheduled on EVERY frame of
+// activity — the wheel makes that cost independent of connection count.
+//
+// Design notes:
+//   * Single-threaded by design: one wheel per reactor, touched only from
+//     that reactor's loop.  No locks, no atomics.
+//   * Timers are identified by caller-chosen u64 ids and are FIRST-CLASS
+//     LAZY: there is no cancel().  advance() hands back expired ids and the
+//     caller revalidates against its own state (connection still exists?
+//     actually idle?) and reschedules if the deadline moved.  This is the
+//     standard trick for idle timeouts — activity just bumps a timestamp,
+//     and the one wheel entry per connection migrates forward on expiry
+//     instead of being rescheduled per frame.
+//   * Entries farther out than one rotation stay in their slot and are
+//     re-examined each pass (deadline check is against absolute time, so
+//     they simply don't fire early).
+//
+// Time is caller-supplied absolute milliseconds (any monotonic source), so
+// the wheel is deterministic under test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slide::util {
+
+class TimerWheel {
+ public:
+  // tick_ms is the expiry granularity (timers fire up to one tick late);
+  // num_slots * tick_ms is the horizon one rotation covers without re-scans.
+  explicit TimerWheel(std::uint64_t tick_ms = 50, std::size_t num_slots = 128);
+
+  // Schedules `id` to expire once `now >= fire_at_ms`.  The same id may be
+  // scheduled again while pending (e.g. lazy idle reschedule); each schedule
+  // adds an entry, and the caller's revalidation makes duplicates harmless.
+  void schedule(std::uint64_t id, std::uint64_t fire_at_ms);
+
+  std::size_t pending() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Milliseconds until the next entry COULD fire (slot granularity), for an
+  // epoll_wait timeout.  -1 when the wheel is empty (block indefinitely).
+  std::int64_t ms_until_next(std::uint64_t now_ms) const;
+
+  // Moves the wheel forward to `now_ms`, appending every expired id to
+  // `expired` (not cleared first).  Ids come out in slot order, not exact
+  // deadline order — fine for timeout work, where ordering within one tick
+  // is meaningless.
+  void advance(std::uint64_t now_ms, std::vector<std::uint64_t>& expired);
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t fire_at_ms;
+  };
+
+  std::size_t slot_of(std::uint64_t fire_at_ms) const {
+    return static_cast<std::size_t>((fire_at_ms / tick_ms_) % slots_.size());
+  }
+
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t tick_ms_;
+  std::uint64_t current_tick_;  // last tick advance() fully processed
+  bool started_ = false;        // current_tick_ is unset until first use
+  std::size_t size_ = 0;
+};
+
+}  // namespace slide::util

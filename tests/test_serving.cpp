@@ -1,10 +1,14 @@
 // In-process coverage for the src/serve/ subsystem: batching parity with
 // direct engine calls, bounded-queue admission semantics, drain, concurrent
-// clients, and the TCP loopback round trip.
+// clients, and the TCP loopback round trip — the wire tests run under BOTH
+// transports (thread-per-connection and epoll) through the ServerTransport
+// seam.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +20,7 @@
 #include "serve/batching_server.h"
 #include "serve/protocol.h"
 #include "serve/tcp_server.h"
+#include "serve/transport.h"
 
 namespace slide {
 namespace {
@@ -76,6 +81,11 @@ serve::ServerConfig batching_config() {
   cfg.k = 5;
   return cfg;
 }
+
+// The wire-level tests run identically over both ServerTransport
+// implementations; a failure names the transport via SCOPED_TRACE.
+constexpr serve::TransportKind kTransports[] = {serve::TransportKind::Threads,
+                                                serve::TransportKind::Epoll};
 
 TEST_F(ServingTest, BatchedResultsIdenticalToDirectEngineCalls) {
   infer::InferenceEngine engine(model());
@@ -244,95 +254,148 @@ TEST_F(ServingTest, SampledModeServes) {
   }
 }
 
-TEST_F(ServingTest, TcpLoopbackRoundTrip) {
+TEST_F(ServingTest, SubmitAsyncMatchesFutureReplies) {
   infer::InferenceEngine engine(model());
-  serve::BatchingServer server(engine, batching_config());
-  serve::TcpServerConfig tcfg;  // port 0: ephemeral
-  serve::TcpServer tcp(server, tcfg);
-  ASSERT_NE(tcp.port(), 0);
-  tcp.start();
-
-  std::vector<std::uint32_t> want;
-  std::vector<float> want_scores;
-  {
-    serve::TcpClient client("127.0.0.1", tcp.port());
-    serve::QueryReply reply;
-    for (std::size_t i = 0; i < 32; ++i) {
-      engine.predict_topk(queries().features(i), 5, want, infer::TopKMode::Dense,
-                          &want_scores);
-      ASSERT_TRUE(client.query(queries().features(i), 5, reply)) << "query " << i;
-      ASSERT_EQ(reply.status, serve::Status::Ok);
-      EXPECT_EQ(reply.ids, want) << "query " << i;
-      EXPECT_EQ(reply.scores, want_scores) << "query " << i;
-    }
-
-    // Malformed frames get error replies and the connection stays usable.
-    std::vector<std::uint8_t> bogus =
-        serve::encode_query({queries().features(0).indices, queries().features(0).nnz},
-                            {queries().features(0).values, queries().features(0).nnz}, 5);
-    bogus[0] = 99;  // wrong protocol version
-    ASSERT_TRUE(client.round_trip_raw(bogus, reply));
-    EXPECT_EQ(reply.status, serve::Status::BadRequest);
-    ASSERT_TRUE(client.query(queries().features(0), 5, reply));
-    EXPECT_EQ(reply.status, serve::Status::Ok);
-
-    // Out-of-range / unsorted indices never reach the kernels.
-    const std::uint32_t wild_idx[] = {5, 4};  // unsorted
-    const float wild_val[] = {1.0f, 1.0f};
-    ASSERT_TRUE(client.round_trip_raw(serve::encode_query(wild_idx, wild_val, 5), reply));
-    EXPECT_EQ(reply.status, serve::Status::BadRequest);
-    const std::uint32_t oob_idx[] = {1000000};  // >= input_dim
-    const float oob_val[] = {1.0f};
-    ASSERT_TRUE(client.round_trip_raw(serve::encode_query(oob_idx, oob_val, 5), reply));
-    EXPECT_EQ(reply.status, serve::Status::BadRequest);
-
-    // A truncated feature array is also a BadRequest, not a hang.
-    std::vector<std::uint8_t> truncated =
-        serve::encode_query({queries().features(0).indices, queries().features(0).nnz},
-                            {queries().features(0).values, queries().features(0).nnz}, 5);
-    truncated.resize(truncated.size() - 4);
-    ASSERT_TRUE(client.round_trip_raw(truncated, reply));
-    EXPECT_EQ(reply.status, serve::Status::BadRequest);
-  }
-
-  tcp.stop();  // graceful: drains the batching core
-  EXPECT_TRUE(server.draining());
-  EXPECT_GE(tcp.connections_accepted(), 1u);
-}
-
-TEST_F(ServingTest, TcpConcurrentConnections) {
-  infer::InferenceEngine engine(model());
-  serve::ServerConfig cfg = batching_config();
-  cfg.admission = serve::Admission::Block;
-  serve::BatchingServer server(engine, cfg);
-  serve::TcpServer tcp(server, {});
-  tcp.start();
-
-  std::vector<std::vector<std::uint32_t>> want(queries().size());
-  for (std::size_t i = 0; i < queries().size(); ++i) {
+  constexpr std::size_t kQueries = 24;
+  std::vector<std::vector<std::uint32_t>> want(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
     engine.predict_topk(queries().features(i), 5, want[i]);
   }
 
-  constexpr unsigned kClients = 8;
-  std::vector<int> all_match(kClients, 0);
-  std::vector<std::thread> threads;
-  for (unsigned t = 0; t < kClients; ++t) {
-    threads.emplace_back([&, t] {
-      serve::TcpClient client("127.0.0.1", tcp.port());
-      serve::QueryReply reply;
-      bool all = true;
-      for (std::size_t step = 0; step < queries().size(); ++step) {
-        const std::size_t i = (step * (t + 1) + t) % queries().size();
-        all = all && client.query(queries().features(i), 5, reply) &&
-              reply.status == serve::Status::Ok && reply.ids == want[i];
-      }
-      all_match[t] = all;
+  serve::BatchingServer server(engine, batching_config());
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    server.submit_async(queries().features(i), 0, 0, [&, i](serve::Reply&& r) {
+      std::lock_guard<std::mutex> lock(m);
+      all_ok = all_ok && r.status == serve::RequestStatus::Ok && r.ids == want[i];
+      if (++done == kQueries) cv.notify_one();
     });
   }
-  for (auto& t : threads) t.join();
-  for (unsigned t = 0; t < kClients; ++t) EXPECT_TRUE(all_match[t]) << "client " << t;
-  tcp.stop();
-  EXPECT_EQ(server.stats().completed, kClients * queries().size());
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done == kQueries; });
+  }
+  EXPECT_TRUE(all_ok);
+
+  // After drain, the callback still fires exactly once — synchronously,
+  // with ShuttingDown.
+  server.drain();
+  serve::RequestStatus after = serve::RequestStatus::Ok;
+  int calls = 0;
+  server.submit_async(queries().features(0), 0, 0, [&](serve::Reply&& r) {
+    after = r.status;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(after, serve::RequestStatus::ShuttingDown);
+}
+
+TEST_F(ServingTest, TcpLoopbackRoundTrip) {
+  for (const serve::TransportKind kind : kTransports) {
+    SCOPED_TRACE(serve::transport_name(kind));
+    infer::InferenceEngine engine(model());
+    serve::BatchingServer server(engine, batching_config());
+    serve::TransportConfig tcfg;  // port 0: ephemeral
+    auto tcp = serve::make_transport(kind, server, tcfg);
+    ASSERT_NE(tcp->port(), 0);
+    tcp->start();
+
+    std::vector<std::uint32_t> want;
+    std::vector<float> want_scores;
+    {
+      serve::TcpClient client("127.0.0.1", tcp->port());
+      serve::QueryReply reply;
+      for (std::size_t i = 0; i < 32; ++i) {
+        engine.predict_topk(queries().features(i), 5, want, infer::TopKMode::Dense,
+                            &want_scores);
+        ASSERT_TRUE(client.query(queries().features(i), 5, reply)) << "query " << i;
+        ASSERT_EQ(reply.status, serve::Status::Ok);
+        EXPECT_EQ(reply.ids, want) << "query " << i;
+        EXPECT_EQ(reply.scores, want_scores) << "query " << i;
+      }
+
+      // Malformed frames get error replies and the connection stays usable.
+      std::vector<std::uint8_t> bogus =
+          serve::encode_query({queries().features(0).indices, queries().features(0).nnz},
+                              {queries().features(0).values, queries().features(0).nnz},
+                              5);
+      bogus[0] = 99;  // wrong protocol version
+      ASSERT_TRUE(client.round_trip_raw(bogus, reply));
+      EXPECT_EQ(reply.status, serve::Status::BadRequest);
+      ASSERT_TRUE(client.query(queries().features(0), 5, reply));
+      EXPECT_EQ(reply.status, serve::Status::Ok);
+
+      // Out-of-range / unsorted indices never reach the kernels.
+      const std::uint32_t wild_idx[] = {5, 4};  // unsorted
+      const float wild_val[] = {1.0f, 1.0f};
+      ASSERT_TRUE(
+          client.round_trip_raw(serve::encode_query(wild_idx, wild_val, 5), reply));
+      EXPECT_EQ(reply.status, serve::Status::BadRequest);
+      const std::uint32_t oob_idx[] = {1000000};  // >= input_dim
+      const float oob_val[] = {1.0f};
+      ASSERT_TRUE(
+          client.round_trip_raw(serve::encode_query(oob_idx, oob_val, 5), reply));
+      EXPECT_EQ(reply.status, serve::Status::BadRequest);
+
+      // A truncated feature array is also a BadRequest, not a hang.
+      std::vector<std::uint8_t> truncated =
+          serve::encode_query({queries().features(0).indices, queries().features(0).nnz},
+                              {queries().features(0).values, queries().features(0).nnz},
+                              5);
+      truncated.resize(truncated.size() - 4);
+      ASSERT_TRUE(client.round_trip_raw(truncated, reply));
+      EXPECT_EQ(reply.status, serve::Status::BadRequest);
+    }
+
+    tcp->stop();  // graceful: drains the batching core
+    EXPECT_TRUE(server.draining());
+    EXPECT_GE(tcp->stats().connections_accepted, 1u);
+  }
+}
+
+TEST_F(ServingTest, TcpConcurrentConnections) {
+  for (const serve::TransportKind kind : kTransports) {
+    SCOPED_TRACE(serve::transport_name(kind));
+    infer::InferenceEngine engine(model());
+    serve::ServerConfig cfg = batching_config();
+    // submit_async never blocks, so Block admission only applies to the
+    // threaded transport; the shared queue capacity absorbs both.
+    cfg.admission = serve::Admission::Block;
+    serve::BatchingServer server(engine, cfg);
+    auto tcp = serve::make_transport(kind, server, {});
+    tcp->start();
+
+    std::vector<std::vector<std::uint32_t>> want(queries().size());
+    for (std::size_t i = 0; i < queries().size(); ++i) {
+      engine.predict_topk(queries().features(i), 5, want[i]);
+    }
+
+    constexpr unsigned kClients = 8;
+    std::vector<int> all_match(kClients, 0);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        serve::TcpClient client("127.0.0.1", tcp->port());
+        serve::QueryReply reply;
+        bool all = true;
+        for (std::size_t step = 0; step < queries().size(); ++step) {
+          const std::size_t i = (step * (t + 1) + t) % queries().size();
+          all = all && client.query(queries().features(i), 5, reply) &&
+                reply.status == serve::Status::Ok && reply.ids == want[i];
+        }
+        all_match[t] = all;
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (unsigned t = 0; t < kClients; ++t) {
+      EXPECT_TRUE(all_match[t]) << "client " << t;
+    }
+    tcp->stop();
+    EXPECT_EQ(server.stats().completed, kClients * queries().size());
+  }
 }
 
 TEST(ServeProtocol, QueryEncodeDecodeRoundTrip) {

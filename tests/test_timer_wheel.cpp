@@ -1,0 +1,110 @@
+// Hashed timer wheel (util/timer_wheel.h): the epoll transport's idle-reap
+// and accept-backoff timers ride on this, so expiry correctness matters —
+// in particular the lazy-reschedule idiom (duplicate schedules, entries a
+// rotation out, fire-in-the-current-tick) the reactors depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/timer_wheel.h"
+
+namespace slide {
+namespace {
+
+std::vector<std::uint64_t> advance_sorted(util::TimerWheel& w, std::uint64_t now) {
+  std::vector<std::uint64_t> out;
+  w.advance(now, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TimerWheel, FiresAtOrAfterDeadlineNeverBefore) {
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/8);
+  w.schedule(1, 100);
+  w.schedule(2, 150);
+
+  EXPECT_TRUE(advance_sorted(w, 99).empty());   // not yet
+  EXPECT_EQ(advance_sorted(w, 100), (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(advance_sorted(w, 149).empty());
+  EXPECT_EQ(advance_sorted(w, 200), (std::vector<std::uint64_t>{2}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, EntryInCurrentTickFiresSamePass) {
+  // Regression: the in-progress tick's slot must be reswept every advance,
+  // or an id scheduled into it fires a whole rotation late.
+  util::TimerWheel w(/*tick_ms=*/50, /*num_slots=*/4);
+  std::vector<std::uint64_t> expired;
+  w.advance(1000, expired);  // establish "now" inside tick 20
+  w.schedule(7, 1010);       // same tick as now
+  w.advance(1010, expired);
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{7}));
+}
+
+TEST(TimerWheel, FarFutureEntrySurvivesRotations) {
+  // An entry several rotations out shares a slot with nearer deadlines; it
+  // must be re-examined (and not fire) each pass until its absolute time.
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/4);  // rotation = 40ms
+  w.schedule(9, 500);
+  for (std::uint64_t now = 0; now < 500; now += 10) {
+    std::vector<std::uint64_t> expired;
+    w.advance(now, expired);
+    EXPECT_TRUE(expired.empty()) << "fired early at " << now;
+  }
+  EXPECT_EQ(advance_sorted(w, 500), (std::vector<std::uint64_t>{9}));
+}
+
+TEST(TimerWheel, DuplicateSchedulesAllExpire) {
+  // Lazy idle reschedule produces duplicate entries for one id; the wheel
+  // hands back every one and the caller's revalidation dedups.
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/8);
+  w.schedule(3, 50);
+  w.schedule(3, 70);
+  EXPECT_EQ(w.pending(), 2u);
+  EXPECT_EQ(advance_sorted(w, 100), (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, LargeGapSweepsEverySlotOnce) {
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/4);
+  for (std::uint64_t id = 0; id < 16; ++id) w.schedule(id, 10 * id);
+  std::vector<std::uint64_t> expired;
+  w.advance(0, expired);      // start the clock
+  w.advance(10000, expired);  // gap of many rotations
+  std::sort(expired.begin(), expired.end());
+  ASSERT_EQ(expired.size(), 16u);
+  for (std::uint64_t id = 0; id < 16; ++id) EXPECT_EQ(expired[id], id);
+}
+
+TEST(TimerWheel, MsUntilNextBoundsTheNextDeadline) {
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/8);
+  EXPECT_EQ(w.ms_until_next(0), -1);  // empty: block indefinitely
+
+  w.schedule(1, 95);
+  const std::int64_t wait = w.ms_until_next(50);
+  // Lower bound at slot granularity: never past the true deadline by more
+  // than one tick, never negative.
+  ASSERT_GE(wait, 0);
+  EXPECT_LE(wait, 95 - 50 + 10);
+  // An overdue entry may report up to one rotation of wait (the slot scan
+  // is a heuristic for epoll timeouts, not an exact deadline) — but never
+  // more, so a stale timer can't stall the loop indefinitely.
+  ASSERT_GE(w.ms_until_next(200), 0);
+  EXPECT_LE(w.ms_until_next(200), 8 * 10);
+}
+
+TEST(TimerWheel, ClockGoingBackwardsIsIgnored) {
+  util::TimerWheel w(/*tick_ms=*/10, /*num_slots=*/8);
+  std::vector<std::uint64_t> expired;
+  w.advance(1000, expired);
+  w.schedule(4, 1500);
+  w.advance(900, expired);  // caller clock hiccup: no-op
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(w.pending(), 1u);
+  w.advance(1500, expired);
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{4}));
+}
+
+}  // namespace
+}  // namespace slide
