@@ -50,8 +50,10 @@ void report(const Workload& w, const PaperRow& paper) {
   std::printf("%-16s %12zu %14.4f %12zu %12zu %12zu %11s (%zu)\n", "  paper (x1)",
               paper.feature_dim, paper.sparsity_percent, paper.label_dim, paper.train_size,
               paper.test_size, paper.params, paper_params);
-  std::printf("%-16s avg_nnz=%.1f avg_labels=%.2f\n\n", "  extras", train.avg_nnz,
-              train.avg_labels);
+  std::printf("%-16s avg_nnz=%.1f avg_labels=%.2f train_mem=%.1fMiB test_mem=%.1fMiB\n\n",
+              "  extras", train.avg_nnz, train.avg_labels,
+              static_cast<double>(train.memory_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(test.memory_bytes) / (1024.0 * 1024.0));
 }
 
 }  // namespace

@@ -11,10 +11,21 @@
 //   Opt SLIDE CLX        -> this library, fp32, half threads
 //   Opt SLIDE CPX        -> this library, BF16 (paper's best mode per
 //                           dataset), full threads
+// `--stream` switches to the streaming-data-plane comparison instead: the
+// same workload trained from an on-disk XC file chunk-by-chunk vs fully
+// resident, reporting the epoch-time ratio (target: within 10%), time to
+// first batch, the loader/compute overlap ratio, and the memory story
+// (eager dataset footprint vs the streaming O(prefetch x chunk) bound).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "data/stream_reader.h"
+#include "data/svm_reader.h"
+#include "util/mem_info.h"
+#include "util/timer.h"
 
 namespace slide::bench {
 namespace {
@@ -86,11 +97,86 @@ void run_dataset(baseline::PaperDataset id, std::size_t epochs) {
               naive_cpx_t / opt_cpx_t, paper.opt_cpx_vs_naive);
 }
 
+int run_streaming_comparison() {
+  using namespace slide;
+  print_header("Streaming data plane: chunked on-disk training vs fully resident");
+  const std::size_t epochs = env_size("SLIDE_BENCH_EPOCHS", 3);
+  const std::size_t chunk_mb = env_size("SLIDE_BENCH_CHUNK_MB", 2);
+  const std::size_t prefetch = env_size("SLIDE_BENCH_PREFETCH", 2);
+
+  const Workload w = make_workload(baseline::PaperDataset::Amazon670k);
+  const std::string path = "/tmp/slide_bench_stream.train.txt";
+  data::write_xc_file(path, w.train);
+  const std::size_t eager_mem = w.train.memory_bytes();
+
+  // Eager side.  Its time-to-first-batch is dominated by loading the whole
+  // file up front, so measure that load explicitly.
+  Timer load_timer;
+  const data::Dataset eager_train = data::read_xc_file(path);
+  const double eager_load_seconds = load_timer.seconds();
+  set_global_pool_threads(cpx_threads());
+  Network eager_net(workload_network(w, Precision::Fp32));
+  TrainerConfig tcfg = trainer_config(w, epochs);
+  Trainer eager_trainer(eager_net, tcfg);
+  const TrainResult eager = eager_trainer.train(eager_train, w.test);
+
+  // Streaming side: identical network seed and trainer config.
+  data::StreamingConfig scfg;
+  scfg.chunk_bytes = chunk_mb << 20;
+  scfg.prefetch = prefetch;
+  data::StreamingDataset stream(path, scfg);
+  set_global_pool_threads(cpx_threads());
+  Network stream_net(workload_network(w, Precision::Fp32));
+  Trainer stream_trainer(stream_net, tcfg);
+  const TrainResult streamed = stream_trainer.train(stream, w.test);
+  const StreamStats& ss = stream_trainer.last_stream_stats();
+
+  // Steady-state epoch time: skip epoch 1 (page cache warmup) when possible.
+  const auto steady = [](const std::vector<EpochRecord>& h) {
+    double total = 0.0;
+    const std::size_t skip = h.size() > 1 ? 1 : 0;
+    for (std::size_t i = skip; i < h.size(); ++i) total += h[i].train_seconds;
+    return total / static_cast<double>(h.size() - skip);
+  };
+  const double eager_epoch = steady(eager.history);
+  const double stream_epoch = steady(streamed.history);
+  const double last_epoch = streamed.history.back().train_seconds;
+  const double overlap =
+      last_epoch > 0.0 ? 1.0 - ss.loader_wait_seconds / last_epoch : 0.0;
+  const double mib = 1024.0 * 1024.0;
+
+  std::printf("\n%-34s %12s %12s\n", "", "eager", "streaming");
+  std::printf("%-34s %11.3fs %11.3fs\n", "steady-state epoch time", eager_epoch,
+              stream_epoch);
+  std::printf("%-34s %11.3fs %11.3fs\n", "time to first batch", eager_load_seconds,
+              ss.first_batch_seconds);
+  std::printf("%-34s %12.4f %12.4f\n", "final P@1", eager.final_p_at_1,
+              streamed.final_p_at_1);
+  std::printf("%-34s %11.1fM %11.1fM\n", "resident train data",
+              static_cast<double>(eager_mem) / mib,
+              static_cast<double>(2 * prefetch * scfg.chunk_bytes) / mib);
+  std::printf("  (streaming bound: 2 x prefetch x chunk = parsed shards in the\n"
+              "   reorder window + raw chunk buffers in flight)\n");
+  std::printf("\nepoch-time ratio (stream/eager): %.3f  (target <= 1.10)\n",
+              stream_epoch / eager_epoch);
+  std::printf("loader overlap: %.1f%% of the last epoch hidden behind compute "
+              "(wait %.3fs, %zu chunks)\n",
+              100.0 * overlap, ss.loader_wait_seconds, ss.chunks);
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(util::peak_rss_bytes()) / mib);
+  std::remove(path.c_str());
+  set_global_pool_threads(ThreadPool::default_thread_count());
+  return 0;
+}
+
 }  // namespace
 }  // namespace slide::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slide::bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0) return run_streaming_comparison();
+  }
   print_header(
       "Table 2: average wall-clock training time per epoch (all systems, all datasets)");
   const std::size_t epochs = env_size("SLIDE_BENCH_EPOCHS", 2);

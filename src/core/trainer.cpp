@@ -4,8 +4,8 @@
 #include <numeric>
 
 #include "core/metrics.h"
+#include "data/stream_reader.h"
 #include "threading/thread_pool.h"
-#include "util/aligned.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -50,38 +50,150 @@ double Trainer::train_one_epoch(const data::Dataset& train_set) {
   // Cache-line-padded slots: adjacent ranks must not share a line (the
   // HOGWILD workers bump their partial every example).
   std::vector<CacheAligned<double>> loss_partials(pool.size());
-  const std::size_t grain = std::max<std::size_t>(1, bs / (4 * pool.size()));
 
   Timer timer;
   for (const std::size_t b : batch_order) {
     const std::size_t begin = b * bs;
     const std::size_t end = std::min(n, begin + bs);
-
-    // HOGWILD fan-out: every worker pulls dynamic chunks of the batch and
-    // races gradient accumulation into the shared arenas.
-    pool.parallel_for_dynamic(end - begin, grain,
-                              [&](unsigned rank, std::size_t lo, std::size_t hi) {
-      Workspace& ws = workspaces_[rank];
-      double local_loss = 0.0;
-      for (std::size_t off = lo; off < hi; ++off) {
-        const std::size_t idx = example_order.empty() ? begin + off
-                                                      : example_order[begin + off];
-        const auto x = train_set.features(idx);
-        const auto labels = train_set.labels(idx);
-        local_loss += net_.forward(x, labels, ws, /*train=*/true);
-        net_.backward(x, labels, ws);
-      }
-      loss_partials[rank].value += local_loss;
-    });
-
-    net_.adam_step(cfg_.adam, &pool);
-    net_.on_batch_end(&pool);
+    hogwild_batch(train_set, example_order.empty() ? nullptr : example_order.data(),
+                  begin, end - begin, loss_partials);
   }
   const double seconds = timer.seconds();
 
   double total_loss = 0.0;
   for (const auto& l : loss_partials) total_loss += l.value;
   last_avg_loss_ = n > 0 ? total_loss / static_cast<double>(n) : 0.0;
+  return seconds;
+}
+
+void Trainer::hogwild_batch(const data::Dataset& ds, const std::uint32_t* order,
+                            std::size_t begin, std::size_t count,
+                            std::vector<CacheAligned<double>>& loss_partials) {
+  ThreadPool& pool = global_pool();
+  const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
+  const std::size_t grain = std::max<std::size_t>(1, bs / (4 * pool.size()));
+
+  // HOGWILD fan-out: every worker pulls dynamic chunks of the batch and
+  // races gradient accumulation into the shared arenas.
+  pool.parallel_for_dynamic(count, grain,
+                            [&](unsigned rank, std::size_t lo, std::size_t hi) {
+    Workspace& ws = workspaces_[rank];
+    double local_loss = 0.0;
+    for (std::size_t off = lo; off < hi; ++off) {
+      const std::size_t idx = order == nullptr ? begin + off : order[begin + off];
+      const auto x = ds.features(idx);
+      const auto labels = ds.labels(idx);
+      local_loss += net_.forward(x, labels, ws, /*train=*/true);
+      net_.backward(x, labels, ws);
+    }
+    loss_partials[rank].value += local_loss;
+  });
+
+  net_.adam_step(cfg_.adam, &pool);
+  net_.on_batch_end(&pool);
+}
+
+double Trainer::train_one_epoch(data::StreamingDataset& train_stream) {
+  ensure_workspaces();
+  ThreadPool& pool = global_pool();
+  const std::size_t bs = std::max<std::size_t>(1, cfg_.batch_size);
+  ++epoch_counter_;
+  stream_stats_ = {};
+
+  const bool shuffle_chunks = cfg_.shuffle != ShuffleMode::None;
+  data::ChunkStream epoch =
+      train_stream.begin_epoch(cfg_.seed, epoch_counter_, shuffle_chunks);
+
+  std::vector<CacheAligned<double>> loss_partials(pool.size());
+  const data::Layout layout = train_stream.config().layout;
+  const auto fresh_pending = [&] {
+    return data::Dataset(train_stream.feature_dim(), train_stream.label_dim(), layout);
+  };
+  // Carries the tail of each chunk so batches straddle chunk boundaries:
+  // with shuffling off, the example grouping then matches the eager loader
+  // exactly (the parity the streaming tests pin down bit-for-bit).
+  data::Dataset pending = fresh_pending();
+
+  Timer timer;
+  const auto run_batch = [&](const data::Dataset& ds, const std::uint32_t* order,
+                             std::size_t begin, std::size_t count) {
+    hogwild_batch(ds, order, begin, count, loss_partials);
+    if (stream_stats_.batches++ == 0) {
+      stream_stats_.first_batch_seconds = timer.seconds();
+    }
+  };
+
+  std::vector<std::uint32_t> intra_order;
+  std::size_t chunk_seq = 0;
+  while (std::optional<data::Dataset> chunk = epoch.next()) {
+    const data::Dataset& ds = *chunk;
+    ++stream_stats_.chunks;
+    stream_stats_.examples += ds.size();
+    if (ds.size() == 0) continue;  // chunk of blank lines
+
+    // Finish the batch straddling the previous chunk boundary first.
+    std::size_t consumed = 0;
+    while (pending.size() > 0 && pending.size() < bs && consumed < ds.size()) {
+      const auto f = ds.features(consumed);
+      pending.add(f.index_span(), f.value_span(), ds.labels(consumed));
+      ++consumed;
+    }
+    if (pending.size() == bs) {
+      run_batch(pending, nullptr, 0, bs);
+      pending = fresh_pending();
+    }
+    if (pending.size() > 0) continue;  // tiny chunk: batch still not full
+
+    const std::size_t remaining = ds.size() - consumed;
+    const std::size_t full_batches = remaining / bs;
+    // Intra-chunk ordering mirrors the eager epoch's, drawn from a
+    // per-(epoch, chunk-position) RNG stream so every chunk shuffles
+    // independently yet deterministically.
+    Rng rng(mix64(mix64(cfg_.seed, epoch_counter_, 0xBA7C4ull), chunk_seq, 0x51DEull));
+    if (cfg_.shuffle == ShuffleMode::Examples) {
+      intra_order.resize(remaining);
+      std::iota(intra_order.begin(), intra_order.end(),
+                static_cast<std::uint32_t>(consumed));
+      for (std::size_t i = remaining; i > 1; --i) {
+        std::swap(intra_order[i - 1], intra_order[rng.uniform_u64(i)]);
+      }
+      for (std::size_t j = 0; j < full_batches; ++j) {
+        run_batch(ds, intra_order.data(), j * bs, bs);
+      }
+      for (std::size_t off = full_batches * bs; off < remaining; ++off) {
+        const auto f = ds.features(intra_order[off]);
+        pending.add(f.index_span(), f.value_span(), ds.labels(intra_order[off]));
+      }
+    } else {
+      std::vector<std::uint32_t> batch_order(full_batches);
+      std::iota(batch_order.begin(), batch_order.end(), 0u);
+      if (cfg_.shuffle == ShuffleMode::Batches) {
+        for (std::size_t i = full_batches; i > 1; --i) {
+          std::swap(batch_order[i - 1], batch_order[rng.uniform_u64(i)]);
+        }
+      }
+      for (const std::uint32_t j : batch_order) {
+        run_batch(ds, nullptr, consumed + static_cast<std::size_t>(j) * bs, bs);
+      }
+      for (std::size_t i = consumed + full_batches * bs; i < ds.size(); ++i) {
+        const auto f = ds.features(i);
+        pending.add(f.index_span(), f.value_span(), ds.labels(i));
+      }
+    }
+    ++chunk_seq;
+  }
+  // Final ragged batch.
+  if (pending.size() > 0) run_batch(pending, nullptr, 0, pending.size());
+  const double seconds = timer.seconds();
+
+  stream_stats_.loader_wait_seconds = epoch.wait_seconds();
+  stream_stats_.first_chunk_seconds = std::max(0.0, epoch.first_chunk_seconds());
+
+  double total_loss = 0.0;
+  for (const auto& l : loss_partials) total_loss += l.value;
+  last_avg_loss_ = stream_stats_.examples > 0
+                       ? total_loss / static_cast<double>(stream_stats_.examples)
+                       : 0.0;
   return seconds;
 }
 
@@ -153,6 +265,33 @@ TrainResult Trainer::train(const data::Dataset& train_set, const data::Dataset& 
     result.history.push_back(rec);
     if (cfg_.verbose) {
       log_info("epoch ", e, ": time=", secs, "s loss=", rec.avg_loss, " P@1=", rec.p_at_1);
+    }
+  }
+  if (!result.history.empty()) {
+    result.avg_epoch_seconds = cumulative / static_cast<double>(result.history.size());
+    result.final_p_at_1 = result.history.back().p_at_1;
+  }
+  return result;
+}
+
+TrainResult Trainer::train(data::StreamingDataset& train_stream,
+                           const data::Dataset& test_set) {
+  TrainResult result;
+  double cumulative = 0.0;
+  for (std::size_t e = 1; e <= cfg_.epochs; ++e) {
+    const double secs = train_one_epoch(train_stream);
+    cumulative += secs;
+    EpochRecord rec;
+    rec.epoch = e;
+    rec.train_seconds = secs;
+    rec.cumulative_seconds = cumulative;
+    rec.avg_loss = last_avg_loss_;
+    rec.p_at_1 = evaluate_p_at_1(test_set, cfg_.eval_max_examples);
+    result.history.push_back(rec);
+    if (cfg_.verbose) {
+      log_info("epoch ", e, ": time=", secs, "s loss=", rec.avg_loss,
+               " P@1=", rec.p_at_1, " ttfb=", stream_stats_.first_batch_seconds,
+               "s loader_wait=", stream_stats_.loader_wait_seconds, "s");
     }
   }
   if (!result.history.empty()) {

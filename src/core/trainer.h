@@ -12,8 +12,13 @@
 
 #include "core/network.h"
 #include "data/dataset.h"
+#include "util/aligned.h"
 
 namespace slide {
+
+namespace data {
+class StreamingDataset;
+}
 
 // Epoch-ordering policies.  `Batches` shuffles the order of batches while
 // keeping each batch a contiguous slice of the (coalesced) dataset — the
@@ -47,6 +52,19 @@ struct TrainResult {
   double final_p_at_1 = 0.0;
 };
 
+// Loader-side accounting for one streaming epoch (see train_one_epoch on a
+// StreamingDataset).  loader_wait_seconds is the part of the epoch the
+// prefetch pipeline failed to hide behind compute; an overlap ratio is
+// 1 - loader_wait_seconds / epoch_seconds.
+struct StreamStats {
+  double first_batch_seconds = 0.0;  // epoch start -> first gradient step done
+  double first_chunk_seconds = 0.0;  // epoch start -> first chunk available
+  double loader_wait_seconds = 0.0;  // total time blocked on the chunk queue
+  std::size_t chunks = 0;
+  std::size_t examples = 0;
+  std::size_t batches = 0;
+};
+
 class Trainer {
  public:
   Trainer(Network& net, TrainerConfig cfg);
@@ -54,8 +72,19 @@ class Trainer {
   // Full run: cfg.epochs epochs, evaluating P@1 after each.
   TrainResult train(const data::Dataset& train_set, const data::Dataset& test_set);
 
+  // Streaming run: the training set is consumed chunk-by-chunk from disk
+  // each epoch instead of being resident; the test set stays eager.
+  TrainResult train(data::StreamingDataset& train_stream, const data::Dataset& test_set);
+
   // One epoch of training; returns its wall-clock seconds.
   double train_one_epoch(const data::Dataset& train_set);
+
+  // One streaming epoch: consumes the dataset's chunk stream (ShuffleMode::
+  // Batches becomes chunk-order permutation + intra-chunk batch shuffle;
+  // batches straddle chunk boundaries so example grouping matches the eager
+  // path when shuffling is off).  Loader accounting lands in
+  // last_stream_stats().
+  double train_one_epoch(data::StreamingDataset& train_stream);
 
   // Mean P@1 over (up to max_examples of) the test set via full inference.
   double evaluate_p_at_1(const data::Dataset& test_set, std::size_t max_examples = 0);
@@ -66,14 +95,26 @@ class Trainer {
 
   double last_avg_loss() const { return last_avg_loss_; }
 
+  // Loader accounting for the most recent streaming epoch.
+  const StreamStats& last_stream_stats() const { return stream_stats_; }
+
  private:
   void ensure_workspaces();
+
+  // One HOGWILD batch: fan the examples out over the pool, race gradient
+  // accumulation, then run the optimizer step and the rebuild bookkeeping.
+  // `order` remaps example offsets (nullptr = contiguous [begin, begin+count)).
+  // Shared by the eager and streaming epoch loops.
+  void hogwild_batch(const data::Dataset& ds, const std::uint32_t* order,
+                     std::size_t begin, std::size_t count,
+                     std::vector<CacheAligned<double>>& loss_partials);
 
   Network& net_;
   TrainerConfig cfg_;
   std::vector<Workspace> workspaces_;  // one per pool worker rank
   double last_avg_loss_ = 0.0;
   std::uint64_t epoch_counter_ = 0;
+  StreamStats stream_stats_;
 };
 
 }  // namespace slide

@@ -1,0 +1,107 @@
+// Bounded, sequence-ordered handoff between the streaming loader's prefetch
+// workers and the training loop — the "double buffer" of the streaming data
+// plane (ROADMAP item 4; the same overlap discipline the paper applies to
+// compute, applied to I/O + parse).
+//
+// Producers finish chunks out of order; the consumer always receives them in
+// strict sequence order.  A producer may only hand over sequence `seq` once
+// the consumer is within `window` of it, so resident parsed-chunk memory is
+// bounded at O(window x chunk_bytes) regardless of dataset size, and a slow
+// consumer exerts backpressure on the readers instead of ballooning RAM.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace slide::data {
+
+template <typename T>
+class OrderedChunkQueue {
+ public:
+  explicit OrderedChunkQueue(std::size_t window)
+      : window_(window == 0 ? 1 : window), slots_(window_) {}
+
+  // Hands item `seq` to the consumer.  Blocks while `seq` is outside the
+  // consumer's window (that wait is the backpressure).  Returns false — and
+  // drops the item — once the consumer has aborted.
+  bool push(std::size_t seq, T item) {
+    std::unique_lock lock(mutex_);
+    producer_cv_.wait(lock, [&] { return aborted_ || seq < next_ + window_; });
+    if (aborted_) return false;
+    slots_[seq % window_].emplace(std::move(item));
+    if (seq == next_) consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Next item in sequence order; blocks until it arrives.  Returns
+  // std::nullopt once the queue is closed and drained.  A producer-side
+  // failure is rethrown here (exactly once) so loader errors surface on the
+  // consuming thread.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    consumer_cv_.wait(lock, [&] {
+      return error_ || closed_ || slots_[next_ % window_].has_value();
+    });
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      aborted_ = true;  // unblock producers still waiting to push
+      producer_cv_.notify_all();
+      std::rethrow_exception(e);
+    }
+    std::optional<T>& slot = slots_[next_ % window_];
+    if (!slot.has_value()) return std::nullopt;  // closed and drained
+    std::optional<T> out = std::move(slot);
+    slot.reset();
+    ++next_;
+    producer_cv_.notify_all();
+    return out;
+  }
+
+  // Producer side: every sequence number has been pushed.  Because sequence
+  // numbers are dense, any still-buffered items sit contiguously at >= next_,
+  // so the consumer drains them before seeing end-of-stream.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    consumer_cv_.notify_all();
+  }
+
+  // Producer side: deliver an exception to the consumer's next pop().
+  void fail(std::exception_ptr e) {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::move(e);
+    consumer_cv_.notify_all();
+  }
+
+  // Consumer side: stop accepting items and unblock every producer (used
+  // when an epoch is abandoned early).
+  void abort() {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard lock(mutex_);
+    return aborted_;
+  }
+
+ private:
+  const std::size_t window_;
+  mutable std::mutex mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::vector<std::optional<T>> slots_;  // slot for seq s is s % window_
+  std::size_t next_ = 0;                 // sequence the consumer pops next
+  bool closed_ = false;
+  bool aborted_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace slide::data

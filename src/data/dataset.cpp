@@ -46,6 +46,11 @@ std::size_t Dataset::total_nnz() const {
   return layout_ == Layout::Coalesced ? coalesced_.total_nnz() : fragmented_.total_nnz();
 }
 
+std::size_t Dataset::memory_bytes() const {
+  return layout_ == Layout::Coalesced ? coalesced_.memory_bytes()
+                                      : fragmented_.memory_bytes();
+}
+
 Dataset Dataset::with_layout(Layout layout) const {
   Dataset out(feature_dim_, label_dim_, layout);
   out.reserve(size(), total_nnz(), 0);
@@ -72,6 +77,7 @@ DatasetStats compute_stats(const Dataset& ds) {
   s.feature_dim = ds.feature_dim();
   s.label_dim = ds.label_dim();
   s.num_examples = ds.size();
+  s.memory_bytes = ds.memory_bytes();
   if (ds.size() == 0) return s;
   std::size_t nnz = 0, lab = 0;
   for (std::size_t i = 0; i < ds.size(); ++i) {
@@ -88,7 +94,8 @@ std::string format_stats(const DatasetStats& s, const std::string& name) {
   std::ostringstream os;
   os << name << ": feature_dim=" << s.feature_dim << " sparsity=" << s.feature_sparsity_percent
      << "% label_dim=" << s.label_dim << " examples=" << s.num_examples
-     << " avg_nnz=" << s.avg_nnz << " avg_labels=" << s.avg_labels;
+     << " avg_nnz=" << s.avg_nnz << " avg_labels=" << s.avg_labels << " mem_mib="
+     << static_cast<double>(s.memory_bytes) / (1024.0 * 1024.0);
   return os.str();
 }
 

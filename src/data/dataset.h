@@ -36,6 +36,9 @@ class Dataset {
 
   std::size_t total_nnz() const;
 
+  // Resident bytes of example storage in the active layout.
+  std::size_t memory_bytes() const;
+
   // Deep copy into the other layout (used by the memory ablation bench).
   Dataset with_layout(Layout layout) const;
 
@@ -58,6 +61,7 @@ struct DatasetStats {
   double avg_nnz = 0.0;
   double feature_sparsity_percent = 0.0;  // avg_nnz / feature_dim * 100
   double avg_labels = 0.0;
+  std::size_t memory_bytes = 0;  // resident dataset footprint
 };
 
 DatasetStats compute_stats(const Dataset& ds);

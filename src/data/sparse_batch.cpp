@@ -104,4 +104,19 @@ std::size_t FragmentedStorage::total_nnz() const {
   return n;
 }
 
+std::size_t CoalescedStorage::memory_bytes() const {
+  return indices_.size() * sizeof(std::uint32_t) + values_.size() * sizeof(float) +
+         offsets_.size() * sizeof(std::size_t) + labels_.size() * sizeof(std::uint32_t) +
+         label_offsets_.size() * sizeof(std::size_t);
+}
+
+std::size_t FragmentedStorage::memory_bytes() const {
+  std::size_t bytes = examples_.size() * sizeof(examples_[0]);
+  for (const auto& e : examples_) {
+    bytes += sizeof(Example) + e->indices.size() * sizeof(std::uint32_t) +
+             e->values.size() * sizeof(float) + e->labels.size() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
 }  // namespace slide::data

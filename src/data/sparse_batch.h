@@ -49,6 +49,10 @@ class CoalescedStorage {
   std::size_t size() const { return offsets_.size() - 1; }
   std::size_t total_nnz() const { return indices_.size(); }
 
+  // Bytes of example payload resident in the arenas (logical sizes, not
+  // allocator capacity — the number Table 1's footprint column reports).
+  std::size_t memory_bytes() const;
+
   SparseVectorView features(std::size_t i) const {
     const std::size_t b = offsets_[i];
     return {indices_.data() + b, values_.data() + b, offsets_[i + 1] - b};
@@ -82,6 +86,10 @@ class FragmentedStorage {
 
   std::size_t size() const { return examples_.size(); }
   std::size_t total_nnz() const;
+
+  // Bytes resident per example, including the per-example heap objects and
+  // pointer array this layout deliberately fragments into.
+  std::size_t memory_bytes() const;
 
   SparseVectorView features(std::size_t i) const {
     const Example& e = *examples_[i];

@@ -1,0 +1,205 @@
+#include "data/stream_reader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "data/chunk_queue.h"
+#include "threading/thread_pool.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace slide::data {
+namespace {
+
+// Chunk permutation gets its own salt so it never correlates with the
+// trainer's batch-order or example-order RNG streams.
+constexpr std::uint64_t kChunkOrderSalt = 0xC4A14ull;
+
+// Index-scan and per-worker read granularity.
+constexpr std::size_t kScanBlockBytes = 1u << 20;
+
+}  // namespace
+
+struct ChunkStream::State {
+  explicit State(std::size_t window) : queue(window) {}
+
+  std::vector<std::uint32_t> order;
+  OrderedChunkQueue<Dataset> queue;
+  std::thread coordinator;
+  Timer epoch_timer;  // started at begin_epoch
+  double first_chunk_seconds = -1.0;
+  double wait_seconds = 0.0;
+};
+
+ChunkStream::ChunkStream(std::unique_ptr<State> state) : state_(std::move(state)) {}
+
+ChunkStream::~ChunkStream() {
+  if (!state_) return;  // moved-from
+  state_->queue.abort();
+  if (state_->coordinator.joinable()) state_->coordinator.join();
+}
+
+std::optional<Dataset> ChunkStream::next() {
+  Timer wait;
+  std::optional<Dataset> out = state_->queue.pop();  // rethrows loader errors
+  state_->wait_seconds += wait.seconds();
+  if (out.has_value() && state_->first_chunk_seconds < 0) {
+    state_->first_chunk_seconds = state_->epoch_timer.seconds();
+  }
+  return out;
+}
+
+const std::vector<std::uint32_t>& ChunkStream::order() const { return state_->order; }
+
+double ChunkStream::first_chunk_seconds() const { return state_->first_chunk_seconds; }
+
+double ChunkStream::wait_seconds() const { return state_->wait_seconds; }
+
+StreamingDataset::StreamingDataset(std::string path, StreamingConfig cfg)
+    : path_(std::move(path)), cfg_(cfg) {
+  if (cfg_.chunk_bytes == 0) cfg_.chunk_bytes = 1;
+  if (cfg_.prefetch == 0) cfg_.prefetch = 1;
+  index_scan();
+}
+
+StreamingDataset::~StreamingDataset() = default;
+
+void StreamingDataset::index_scan() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open XC file: " + path_);
+
+  std::string header_line;
+  if (!std::getline(in, header_line)) {
+    throw std::runtime_error("XC parse error at " + path_ + ": empty input");
+  }
+  header_ = parse_xc_header(header_line, path_);
+
+  // getline consumed the header's newline; records start here.  A header-only
+  // file reports EOF through a failed tellg — treat it as zero chunks.
+  const std::streampos data_pos = in.tellg();
+  if (data_pos == std::streampos(-1)) {
+    file_bytes_ = static_cast<std::uint64_t>(header_line.size());
+    return;
+  }
+
+  // One sequential pass recording newline-aligned chunk boundaries; cheap
+  // (no parsing), and it is what lets every later epoch seek directly.
+  std::vector<char> buf(kScanBlockBytes);
+  std::uint64_t base = static_cast<std::uint64_t>(data_pos);
+  std::uint64_t chunk_begin = base;
+  std::size_t current_line = 2;  // header is line 1
+  std::size_t chunk_first_line = 2;
+  std::size_t lines_in_chunk = 0;
+  char last_byte = '\n';
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    last_byte = buf[static_cast<std::size_t>(got - 1)];
+    for (std::streamsize i = 0; i < got; ++i) {
+      if (buf[static_cast<std::size_t>(i)] != '\n') continue;
+      ++lines_in_chunk;
+      ++current_line;
+      const std::uint64_t after = base + static_cast<std::uint64_t>(i) + 1;
+      if (after - chunk_begin >= cfg_.chunk_bytes) {
+        chunks_.push_back({chunk_begin, after, chunk_first_line, lines_in_chunk});
+        chunk_begin = after;
+        chunk_first_line = current_line;
+        lines_in_chunk = 0;
+      }
+    }
+    base += static_cast<std::uint64_t>(got);
+  }
+  file_bytes_ = base;
+  if (chunk_begin < file_bytes_) {
+    // Trailing chunk; a missing final newline means one extra partial line.
+    const std::size_t partial = last_byte == '\n' ? 0 : 1;
+    chunks_.push_back({chunk_begin, file_bytes_, chunk_first_line,
+                       lines_in_chunk + partial});
+  }
+}
+
+Dataset StreamingDataset::read_chunk(std::size_t chunk_id) const {
+  const ChunkInfo& c = chunks_.at(chunk_id);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open XC file: " + path_);
+  in.seekg(static_cast<std::streamoff>(c.begin));
+  std::string buf(static_cast<std::size_t>(c.end - c.begin), '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != c.end - c.begin) {
+    throw std::runtime_error("XC stream error at " + path_ + ": chunk " +
+                             std::to_string(chunk_id) + " truncated (file shrank after "
+                             "the index scan?)");
+  }
+
+  Dataset ds(header_.feature_dim, header_.label_dim, cfg_.layout);
+  ds.reserve(c.lines, 0, 0);
+  XcRecordParser parser(header_.feature_dim, header_.label_dim);
+  std::size_t line_no = c.first_line;
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    std::size_t eol = buf.find('\n', pos);
+    if (eol == std::string::npos) eol = buf.size();
+    const std::string_view line(buf.data() + pos, eol - pos);
+    if (parser.parse(line, path_, line_no)) {
+      ds.add(parser.indices(), parser.values(), parser.labels());
+    }
+    ++line_no;
+    pos = eol + 1;
+  }
+  return ds;
+}
+
+std::vector<std::uint32_t> StreamingDataset::chunk_permutation(std::size_t num_chunks,
+                                                               std::uint64_t seed,
+                                                               std::uint64_t epoch,
+                                                               bool shuffle) {
+  std::vector<std::uint32_t> order(num_chunks);
+  std::iota(order.begin(), order.end(), 0u);
+  if (shuffle) {
+    Rng rng(mix64(seed, epoch, kChunkOrderSalt));
+    for (std::size_t i = num_chunks; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_u64(i)]);
+    }
+  }
+  return order;
+}
+
+ChunkStream StreamingDataset::begin_epoch(std::uint64_t seed, std::uint64_t epoch,
+                                          bool shuffle) {
+  if (!pool_) {
+    // Parser threads match the reorder window: more would only pile parsed
+    // chunks up behind the queue's backpressure.
+    const unsigned threads =
+        static_cast<unsigned>(std::min<std::size_t>(cfg_.prefetch, 8));
+    pool_ = std::make_unique<ThreadPool>(std::max(1u, threads));
+  }
+
+  auto state = std::make_unique<ChunkStream::State>(cfg_.prefetch);
+  state->order = chunk_permutation(chunks_.size(), seed, epoch, shuffle);
+  ChunkStream::State* s = state.get();
+  s->coordinator = std::thread([this, s] {
+    try {
+      pool_->parallel_for_dynamic(
+          s->order.size(), 1, [this, s](unsigned, std::size_t lo, std::size_t hi) {
+            for (std::size_t p = lo; p < hi; ++p) {
+              if (s->queue.aborted()) return;  // consumer abandoned the epoch
+              Dataset shard = read_chunk(s->order[p]);
+              if (!s->queue.push(p, std::move(shard))) return;
+            }
+          });
+      s->queue.close();
+    } catch (...) {
+      // I/O or parse failure on a worker: surface it on the consumer's next
+      // pop() instead of tearing the process down.
+      s->queue.fail(std::current_exception());
+    }
+  });
+  return ChunkStream(std::move(state));
+}
+
+}  // namespace slide::data

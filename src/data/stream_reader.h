@@ -1,0 +1,128 @@
+// Streaming data plane for beyond-RAM XC datasets (ROADMAP item 4).
+//
+// A StreamingDataset splits an XC-format file into newline-aligned chunks of
+// ~chunk_bytes, indexed once up front so every later epoch seeks straight to
+// its chunk.  Each epoch, a small prefetch pool reads and parses chunks into
+// self-contained Dataset shards and feeds them through a bounded, sequence-
+// ordered queue (chunk_queue.h), so the trainer consumes chunk k while chunk
+// k+1 is being read and parsed — I/O + parse overlap compute, and resident
+// dataset memory is O(prefetch x chunk_bytes) instead of O(file).
+//
+// Epoch shuffling is a seeded chunk-order permutation (deterministic per
+// (seed, epoch)); intra-chunk batch order is shuffled by the trainer,
+// matching ShuffleMode::Batches semantics.  With shuffling off the delivered
+// example order equals the eager reader's, which is what the bit-for-bit
+// streaming-vs-eager parity tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/svm_reader.h"
+
+namespace slide {
+class ThreadPool;
+}
+
+namespace slide::data {
+
+struct StreamingConfig {
+  std::size_t chunk_bytes = 8ull << 20;  // target chunk size (newline-aligned)
+  std::size_t prefetch = 2;              // parser threads and reorder window
+  Layout layout = Layout::Coalesced;
+};
+
+// One chunk's byte range plus the context needed to parse it in isolation.
+struct ChunkInfo {
+  std::uint64_t begin = 0;     // first byte (start of a record line)
+  std::uint64_t end = 0;       // one past the last byte
+  std::size_t first_line = 0;  // 1-based file line number of the first record
+  std::size_t lines = 0;       // record lines in the chunk (incl. blank ones)
+};
+
+class StreamingDataset;
+
+// One epoch's chunks, delivered in permutation order.  Obtained from
+// StreamingDataset::begin_epoch(); keep the dataset alive while iterating.
+// Dropping the stream early (destructor) cancels the in-flight prefetch.
+class ChunkStream {
+ public:
+  ChunkStream(ChunkStream&&) noexcept = default;
+  ChunkStream& operator=(ChunkStream&&) noexcept = default;
+  ~ChunkStream();
+
+  // Next parsed chunk, or std::nullopt at end of epoch.  Loader failures
+  // (I/O errors, malformed records, mid-file truncation) rethrow here with
+  // path:line context.
+  std::optional<Dataset> next();
+
+  // The chunk permutation this epoch delivers.
+  const std::vector<std::uint32_t>& order() const;
+
+  // Seconds from begin_epoch() until the first chunk was handed over
+  // (negative until then) — the streaming time-to-first-data.
+  double first_chunk_seconds() const;
+
+  // Total seconds the consumer spent blocked inside next(): the part of the
+  // epoch the loader failed to hide behind compute.
+  double wait_seconds() const;
+
+ private:
+  friend class StreamingDataset;
+  struct State;
+  explicit ChunkStream(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
+
+class StreamingDataset {
+ public:
+  // Opens and index-scans the file: parses the header, then records
+  // newline-aligned chunk boundaries in one sequential pass (no parsing, no
+  // example materialization).  Throws on unreadable files or bad headers.
+  explicit StreamingDataset(std::string path, StreamingConfig cfg = {});
+  ~StreamingDataset();
+
+  StreamingDataset(const StreamingDataset&) = delete;
+  StreamingDataset& operator=(const StreamingDataset&) = delete;
+
+  const std::string& path() const { return path_; }
+  const StreamingConfig& config() const { return cfg_; }
+  std::size_t feature_dim() const { return header_.feature_dim; }
+  std::size_t label_dim() const { return header_.label_dim; }
+  std::size_t declared_examples() const { return header_.num_examples; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  std::size_t num_chunks() const { return chunks_.size(); }
+  const std::vector<ChunkInfo>& chunks() const { return chunks_; }
+
+  // Starts the prefetch pipeline for one epoch.  `shuffle` applies the
+  // seeded chunk permutation; off delivers file order.  Only one epoch may
+  // be in flight per dataset at a time, and this object must outlive the
+  // returned stream.
+  ChunkStream begin_epoch(std::uint64_t seed, std::uint64_t epoch, bool shuffle);
+
+  // Synchronously reads and parses one chunk (the building block the epoch
+  // workers use; also handy for tests and spot checks).
+  Dataset read_chunk(std::size_t chunk_id) const;
+
+  // The deterministic chunk-order permutation for (seed, epoch); identity
+  // when shuffle is off.
+  static std::vector<std::uint32_t> chunk_permutation(std::size_t num_chunks,
+                                                      std::uint64_t seed,
+                                                      std::uint64_t epoch, bool shuffle);
+
+ private:
+  void index_scan();
+
+  std::string path_;
+  StreamingConfig cfg_;
+  XcHeader header_;
+  std::vector<ChunkInfo> chunks_;
+  std::uint64_t file_bytes_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  // prefetch pool, created on first epoch
+};
+
+}  // namespace slide::data

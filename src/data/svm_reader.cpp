@@ -2,7 +2,6 @@
 
 #include <charconv>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -21,8 +20,37 @@ struct ParseContext {
   }
 };
 
+// Real XC downloads mix bare-\n and CRLF records and pad lines with spaces;
+// strip all of it before tokenizing so both conventions parse identically.
+std::string_view strip_trailing_ws(std::string_view s) {
+  while (!s.empty() &&
+         (s.back() == '\r' || s.back() == '\n' || s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_sep(char c) { return c == ' ' || c == '\t'; }
+
+// Whole-token integer parse: trailing garbage ("12x") is a parse failure,
+// not silently ignored.
+template <typename Int>
+bool parse_int(std::string_view tok, Int& out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && next == end;
+}
+
+bool parse_float(std::string_view tok, float& out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && next == end;
+}
+
 // Parses "a,b,c" into out; empty string leaves out empty.
-void parse_labels(const std::string& tok, const ParseContext& ctx,
+void parse_labels(std::string_view tok, const ParseContext& ctx,
                   std::vector<std::uint32_t>& out) {
   out.clear();
   const char* p = tok.data();
@@ -30,11 +58,11 @@ void parse_labels(const std::string& tok, const ParseContext& ctx,
   while (p < end) {
     std::uint32_t v = 0;
     const auto [next, ec] = std::from_chars(p, end, v);
-    if (ec != std::errc()) ctx.fail("bad label list '" + tok + "'");
+    if (ec != std::errc()) ctx.fail("bad label list '" + std::string(tok) + "'");
     out.push_back(v);
     p = next;
     if (p < end) {
-      if (*p != ',') ctx.fail("expected ',' in label list '" + tok + "'");
+      if (*p != ',') ctx.fail("expected ',' in label list '" + std::string(tok) + "'");
       ++p;
     }
   }
@@ -42,92 +70,109 @@ void parse_labels(const std::string& tok, const ParseContext& ctx,
 
 }  // namespace
 
+XcHeader parse_xc_header(std::string_view line, const std::string& source) {
+  const ParseContext ctx{source, 1};
+  const std::string_view stripped = strip_trailing_ws(line);
+  const char* p = stripped.data();
+  const char* end = p + stripped.size();
+  XcHeader h;
+  for (std::size_t* field : {&h.num_examples, &h.feature_dim, &h.label_dim}) {
+    while (p < end && is_sep(*p)) ++p;
+    const auto [next, ec] = std::from_chars(p, end, *field);
+    if (ec != std::errc()) ctx.fail("bad header '" + std::string(line) + "'");
+    p = next;
+  }
+  if (h.feature_dim == 0 || h.label_dim == 0) ctx.fail("zero feature or label dimension");
+  return h;
+}
+
+bool XcRecordParser::parse(std::string_view line, const std::string& source,
+                           std::size_t line_no) {
+  const ParseContext ctx{source, line_no};
+  const std::string_view stripped = strip_trailing_ws(line);
+  indices_.clear();
+  values_.clear();
+  raw_labels_.clear();
+  unique_labels_.clear();
+
+  const char* p = stripped.data();
+  const char* end = p + stripped.size();
+  bool first = true;
+  bool any_token = false;
+  while (p < end) {
+    while (p < end && is_sep(*p)) ++p;
+    if (p >= end) break;
+    const char* tok_begin = p;
+    while (p < end && !is_sep(*p)) ++p;
+    const std::string_view tok(tok_begin, static_cast<std::size_t>(p - tok_begin));
+    any_token = true;
+
+    // Label token is optional ("  f:v ..." means no labels); detect by ':'.
+    const auto colon = tok.find(':');
+    if (first && colon == std::string_view::npos) {
+      parse_labels(tok, ctx, raw_labels_);
+      first = false;
+      continue;
+    }
+    first = false;
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= tok.size()) {
+      ctx.fail("bad feature token '" + std::string(tok) + "'");
+    }
+    std::uint32_t idx = 0;
+    if (!parse_int(tok.substr(0, colon), idx)) {
+      ctx.fail("bad feature index in '" + std::string(tok) + "'");
+    }
+    float val = 0.0f;
+    if (!parse_float(tok.substr(colon + 1), val)) {
+      ctx.fail("bad feature value in '" + std::string(tok) + "'");
+    }
+    if (idx >= feature_dim_) {
+      ctx.fail("feature index " + std::to_string(idx) + " >= feature_dim");
+    }
+    indices_.push_back(idx);
+    values_.push_back(val);
+  }
+  if (!any_token) return false;  // blank (or whitespace-only) line
+
+  for (const std::uint32_t l : raw_labels_) {
+    if (l >= label_dim_) ctx.fail("label " + std::to_string(l) + " >= label_dim");
+  }
+  // Deduplicate labels preserving order.
+  for (const std::uint32_t l : raw_labels_) {
+    bool seen = false;
+    for (const std::uint32_t u : unique_labels_) seen = seen || (u == l);
+    if (!seen) unique_labels_.push_back(l);
+  }
+  normalize_example(indices_, values_);
+  return true;
+}
+
 Dataset read_xc(std::istream& in, Layout layout, std::size_t max_examples,
                 const std::string& source) {
   std::string line;
-  ParseContext ctx{source};
-
-  // Header.
   if (!std::getline(in, line)) {
     throw std::runtime_error("XC parse error at " + source + ": empty input");
   }
-  ++ctx.line_no;
-  std::istringstream header(line);
-  std::size_t declared_examples = 0, feature_dim = 0, label_dim = 0;
-  if (!(header >> declared_examples >> feature_dim >> label_dim)) {
-    ctx.fail("bad header '" + line + "'");
-  }
-  if (feature_dim == 0 || label_dim == 0) ctx.fail("zero feature or label dimension");
+  const XcHeader h = parse_xc_header(line, source);
 
-  Dataset ds(feature_dim, label_dim, layout);
+  Dataset ds(h.feature_dim, h.label_dim, layout);
   const std::size_t limit =
-      max_examples == 0 ? declared_examples : std::min(declared_examples, max_examples);
+      max_examples == 0 ? h.num_examples : std::min(h.num_examples, max_examples);
   ds.reserve(limit, 0, 0);
 
-  std::vector<std::uint32_t> labels;
-  std::vector<std::uint32_t> indices;
-  std::vector<float> values;
-
+  XcRecordParser parser(h.feature_dim, h.label_dim);
+  std::size_t line_no = 1;
   while (ds.size() < limit && std::getline(in, line)) {
-    ++ctx.line_no;
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string tok;
-
-    // Label token is optional ("  f:v ..." means no labels); detect by ':'.
-    indices.clear();
-    values.clear();
-    labels.clear();
-    bool first = true;
-    while (ls >> tok) {
-      const auto colon = tok.find(':');
-      if (first && colon == std::string::npos) {
-        parse_labels(tok, ctx, labels);
-        first = false;
-        continue;
-      }
-      first = false;
-      if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.size()) {
-        ctx.fail("bad feature token '" + tok + "'");
-      }
-      std::uint32_t idx = 0;
-      {
-        const char* p = tok.data();
-        const auto [next, ec] = std::from_chars(p, p + colon, idx);
-        if (ec != std::errc() || next != p + colon) {
-          ctx.fail("bad feature index in '" + tok + "'");
-        }
-      }
-      float val = 0.0f;
-      try {
-        val = std::stof(tok.substr(colon + 1));
-      } catch (const std::exception&) {
-        ctx.fail("bad feature value in '" + tok + "'");
-      }
-      if (idx >= feature_dim) {
-        ctx.fail("feature index " + std::to_string(idx) + " >= feature_dim");
-      }
-      indices.push_back(idx);
-      values.push_back(val);
+    ++line_no;
+    if (parser.parse(line, source, line_no)) {
+      ds.add(parser.indices(), parser.values(), parser.labels());
     }
-    for (const std::uint32_t l : labels) {
-      if (l >= label_dim) ctx.fail("label " + std::to_string(l) + " >= label_dim");
-    }
-    // Deduplicate labels preserving order.
-    std::vector<std::uint32_t> unique_labels;
-    for (const std::uint32_t l : labels) {
-      bool seen = false;
-      for (const std::uint32_t u : unique_labels) seen = seen || (u == l);
-      if (!seen) unique_labels.push_back(l);
-    }
-    normalize_example(indices, values);
-    ds.add(indices, values, unique_labels);
   }
   return ds;
 }
 
 Dataset read_xc_file(const std::string& path, Layout layout, std::size_t max_examples) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open XC file: " + path);
   return read_xc(in, layout, max_examples, path);
 }

@@ -5,19 +5,64 @@
 //   line:    l1,l2,...   f1:v1 f2:v2 ...
 //
 // Drop the real dataset files in and they load unchanged; the synthetic
-// generators (synthetic.h) produce the same format for offline use.
+// generators (synthetic.h) produce the same format for offline use.  CRLF
+// line endings and trailing whitespace are tolerated (real XC downloads mix
+// both), and whitespace-only lines are skipped like empty ones.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "data/dataset.h"
 
 namespace slide::data {
 
+struct XcHeader {
+  std::size_t num_examples = 0;
+  std::size_t feature_dim = 0;
+  std::size_t label_dim = 0;
+};
+
+// Parses the "<num_examples> <feature_dim> <label_dim>" header line.
+// Throws std::runtime_error with `source:1` context on malformed input.
+XcHeader parse_xc_header(std::string_view line, const std::string& source);
+
+// Reusable single-record parser: scratch buffers persist across lines so the
+// per-line cost is parsing, not allocation.  Shared by the eager reader below
+// and the streaming chunk reader (stream_reader.h) so both accept byte-for-
+// byte the same inputs — the parity the streaming tests rely on.
+class XcRecordParser {
+ public:
+  XcRecordParser(std::size_t feature_dim, std::size_t label_dim)
+      : feature_dim_(feature_dim), label_dim_(label_dim) {}
+
+  // Parses one record line ("\r" and trailing whitespace are stripped
+  // first).  Returns false for a blank line.  Malformed records throw
+  // std::runtime_error carrying `source:line_no` context and the offending
+  // token (e.g. "XC parse error at train.txt:3: bad feature token '12:'").
+  // On success the sorted, duplicate-merged example is readable through the
+  // accessors until the next parse() call.
+  bool parse(std::string_view line, const std::string& source, std::size_t line_no);
+
+  std::span<const std::uint32_t> indices() const { return indices_; }
+  std::span<const float> values() const { return values_; }
+  std::span<const std::uint32_t> labels() const { return unique_labels_; }
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t label_dim_;
+  std::vector<std::uint32_t> indices_;
+  std::vector<float> values_;
+  std::vector<std::uint32_t> raw_labels_;
+  std::vector<std::uint32_t> unique_labels_;
+};
+
 // Parses a stream in XC format.  Malformed headers or records throw
-// std::runtime_error carrying `source:line` context and the offending token
-// (e.g. "XC parse error at train.txt:3: bad feature token '12:'").
+// std::runtime_error carrying `source:line` context and the offending token.
 // Features are sorted and duplicate coordinates summed; duplicate labels
 // are removed.  `max_examples` truncates large files (0 = no limit);
 // `source` names the stream in error messages.

@@ -1,0 +1,61 @@
+// Process memory introspection for the streaming bench and CLI reporting.
+//
+// Peak RSS is the number the streaming data plane's O(prefetch x chunk)
+// claim is judged against; both readings are best-effort (0 when the
+// platform offers no cheap source) so callers must treat them as advisory.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace slide::util {
+
+// Peak resident set size of this process in bytes (0 if unknown).
+inline std::size_t peak_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::size_t kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::sscanf(line, "VmHWM: %zu", &kb) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return kb * 1024;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+// Current resident set size in bytes (0 if unknown).
+inline std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long pages_total = 0, pages_resident = 0;
+    const int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+    std::fclose(f);
+    if (n == 2) return static_cast<std::size_t>(pages_resident) * 4096;
+  }
+#endif
+  return 0;
+}
+
+}  // namespace slide::util

@@ -1,0 +1,112 @@
+#include "data/chunk_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace slide::data {
+namespace {
+
+TEST(OrderedChunkQueue, DeliversInSequenceOrderFromOutOfOrderPushes) {
+  OrderedChunkQueue<int> q(4);
+  // Push 1..3 before 0; pop must still yield 0, 1, 2, 3.
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(1, 10));
+    ASSERT_TRUE(q.push(3, 30));
+    ASSERT_TRUE(q.push(2, 20));
+    ASSERT_TRUE(q.push(0, 0));
+    q.close();
+  });
+  for (int want : {0, 10, 20, 30}) {
+    auto got = q.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+  producer.join();
+}
+
+TEST(OrderedChunkQueue, WindowExertsBackpressure) {
+  OrderedChunkQueue<int> q(2);
+  ASSERT_TRUE(q.push(0, 0));
+  ASSERT_TRUE(q.push(1, 1));
+  // seq 2 is outside the window until the consumer pops seq 0.
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2, 2));
+    third_pushed.store(true);
+    q.close();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());  // still blocked behind the window
+  EXPECT_EQ(q.pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(OrderedChunkQueue, AbortUnblocksBlockedProducer) {
+  OrderedChunkQueue<int> q(1);
+  ASSERT_TRUE(q.push(0, 0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.push(1, 1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.abort();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // aborted push reports failure
+  EXPECT_TRUE(q.aborted());
+}
+
+TEST(OrderedChunkQueue, FailDeliversExceptionToConsumer) {
+  OrderedChunkQueue<int> q(2);
+  ASSERT_TRUE(q.push(0, 0));
+  q.fail(std::make_exception_ptr(std::runtime_error("loader died")));
+  EXPECT_THROW((void)q.pop(), std::runtime_error);
+  // The failure also aborts the queue so stuck producers drain out.
+  EXPECT_TRUE(q.aborted());
+  EXPECT_FALSE(q.push(1, 1));
+}
+
+TEST(OrderedChunkQueue, CloseThenDrainReturnsBufferedItemsThenNullopt) {
+  OrderedChunkQueue<int> q(4);
+  ASSERT_TRUE(q.push(0, 100));
+  ASSERT_TRUE(q.push(1, 200));
+  q.close();
+  EXPECT_EQ(q.pop().value(), 100);
+  EXPECT_EQ(q.pop().value(), 200);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // idempotent at end of stream
+}
+
+TEST(OrderedChunkQueue, ManyProducersOneConsumer) {
+  constexpr std::size_t kItems = 200;
+  OrderedChunkQueue<std::size_t> q(3);
+  std::atomic<std::size_t> next_seq{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const std::size_t seq = next_seq.fetch_add(1);
+        if (seq >= kItems) return;
+        if (!q.push(seq, seq * 7)) return;
+      }
+    });
+  }
+  for (std::size_t i = 0; i < kItems; ++i) {
+    auto got = q.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i * 7);  // strict sequence order despite racing producers
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+}  // namespace
+}  // namespace slide::data

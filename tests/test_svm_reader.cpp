@@ -70,6 +70,50 @@ TEST(SvmReader, SkipsBlankLines) {
   EXPECT_EQ(read_xc(in).size(), 2u);
 }
 
+TEST(SvmReader, ToleratesCrlfLineEndings) {
+  // Real XC downloads are a mix of Unix and Windows line endings.
+  std::istringstream in(
+      "3 10 4\r\n"
+      "0,2 1:0.5 7:1.5\r\n"
+      "1 0:2.0\r\n"
+      "3\r\n");  // bare label list, CRLF-terminated
+  const Dataset ds = read_xc(in);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.labels(0).size(), 2u);
+  EXPECT_FLOAT_EQ(ds.features(1).values[0], 2.0f);
+  EXPECT_EQ(ds.labels(2).size(), 1u);
+  EXPECT_EQ(ds.labels(2)[0], 3u);
+  EXPECT_TRUE(ds.features(2).nnz == 0u);
+}
+
+TEST(SvmReader, ToleratesTrailingWhitespace) {
+  std::istringstream in(
+      "2 10 4 \t\n"
+      "0 1:0.5 \t \n"
+      "1 2:1.0\t\n");
+  const Dataset ds = read_xc(in);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_FLOAT_EQ(ds.features(0).values[0], 0.5f);
+}
+
+TEST(SvmReader, SkipsWhitespaceOnlyLines) {
+  std::istringstream in(
+      "2 10 4\n"
+      "   \n"
+      "0 1:1.0\n"
+      "\t\r\n"
+      "1 2:1.0\n");
+  EXPECT_EQ(read_xc(in).size(), 2u);
+}
+
+TEST(SvmReader, RejectsTrailingGarbageInNumbers) {
+  // from_chars must consume the whole token: "1.0x" is corruption, not 1.0.
+  for (const char* line : {"0 1:1.0x\n", "0 1e:1.0\n", "0x 1:1.0\n"}) {
+    std::istringstream in(std::string("1 10 4\n") + line);
+    EXPECT_THROW(read_xc(in), std::runtime_error) << line;
+  }
+}
+
 TEST(SvmReader, MaxExamplesTruncates) {
   std::istringstream in(
       "3 10 4\n"

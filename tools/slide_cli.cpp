@@ -35,6 +35,7 @@
 #include "core/network.h"
 #include "core/serialize.h"
 #include "core/trainer.h"
+#include "data/stream_reader.h"
 #include "data/svm_reader.h"
 #include "data/synthetic.h"
 #include "data/text_corpus.h"
@@ -47,6 +48,7 @@
 #include "threading/thread_pool.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/mem_info.h"
 #include "util/timer.h"
 
 namespace {
@@ -67,6 +69,8 @@ int cmd_gen(int argc, const char* const* argv) {
   cli::ArgParser args("slide_cli gen: write a synthetic XC-format dataset");
   args.add_string("dataset", "amazon", "amazon | wiki | text8");
   args.add_double("scale", 0.01, "fraction of the paper's dataset dimensions");
+  args.add_int("examples", 0, "override train example count (amazon/wiki; 0 = scaled)");
+  args.add_int("test-examples", 0, "override test example count (amazon/wiki; 0 = scaled)");
   args.add_required_string("out", "output prefix; writes <out>.train.txt/.test.txt");
   if (help_requested(args, argc, argv)) return 0;
   if (!args.parse(argc, argv, 2)) {
@@ -79,6 +83,15 @@ int cmd_gen(int argc, const char* const* argv) {
   data::Dataset train(1, 1), test(1, 1);
   if (kind == "amazon" || kind == "wiki") {
     auto cfg = kind == "amazon" ? data::amazon670k_like(scale) : data::wiki325k_like(scale);
+    // Example-count overrides decouple file length from model dimensions so
+    // multi-chunk streaming fixtures stay cheap to generate (narrow model,
+    // many records).
+    if (args.get_int("examples") > 0) {
+      cfg.num_train = static_cast<std::size_t>(args.get_int("examples"));
+    }
+    if (args.get_int("test-examples") > 0) {
+      cfg.num_test = static_cast<std::size_t>(args.get_int("test-examples"));
+    }
     auto pair = data::make_xc_datasets(cfg);
     train = std::move(pair.first);
     test = std::move(pair.second);
@@ -131,6 +144,9 @@ int cmd_train(int argc, const char* const* argv) {
   args.add_string("maintenance", "rebuild", "hash-table upkeep: rebuild | incremental");
   args.add_int("rebuild-interval", 16, "batches between table refreshes");
   args.add_string("save", "", "write a checkpoint here after training");
+  args.add_flag("stream", "stream the training set chunk-by-chunk from disk");
+  args.add_int("chunk-mb", 8, "streaming chunk size in MiB");
+  args.add_int("prefetch", 2, "streaming prefetch depth (parser threads + queue window)");
   args.add_int("threads", 0, "worker threads (default: all hardware threads)");
   cli::add_isa_flag(args);
   args.add_int("seed", 42, "random seed");
@@ -142,9 +158,29 @@ int cmd_train(int argc, const char* const* argv) {
   }
   if (!apply_common_system_flags(args)) return 1;
 
-  const data::Dataset train = data::read_xc_file(args.get_string("train"));
+  const bool streaming = args.get_flag("stream");
+  std::optional<data::StreamingDataset> stream;
+  data::Dataset train(1, 1);
+  if (streaming) {
+    data::StreamingConfig scfg;
+    scfg.chunk_bytes = static_cast<std::size_t>(
+                           std::max<std::int64_t>(1, args.get_int("chunk-mb")))
+                       << 20;
+    scfg.prefetch =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("prefetch")));
+    stream.emplace(args.get_string("train"), scfg);
+    std::printf("train (streaming): %zu examples declared, %.1f MiB on disk, "
+                "%zu chunks, prefetch %zu\n",
+                stream->declared_examples(),
+                static_cast<double>(stream->file_bytes()) / (1024.0 * 1024.0),
+                stream->num_chunks(), stream->config().prefetch);
+  } else {
+    train = data::read_xc_file(args.get_string("train"));
+    std::printf("%s\n", data::format_stats(data::compute_stats(train), "train").c_str());
+  }
   const data::Dataset test = data::read_xc_file(args.get_string("test"));
-  std::printf("%s\n", data::format_stats(data::compute_stats(train), "train").c_str());
+  const std::size_t feature_dim = streaming ? stream->feature_dim() : train.feature_dim();
+  const std::size_t label_dim = streaming ? stream->label_dim() : train.label_dim();
 
   LshLayerConfig lsh;
   const std::string hash = args.get_string("hash");
@@ -162,7 +198,7 @@ int cmd_train(int argc, const char* const* argv) {
   lsh.l = static_cast<int>(args.get_int("l"));
   lsh.min_active = args.get_int("min-active") > 0
                        ? static_cast<std::size_t>(args.get_int("min-active"))
-                       : std::max<std::size_t>(64, train.label_dim() / 32);
+                       : std::max<std::size_t>(64, label_dim / 32);
   lsh.rebuild_interval = static_cast<std::size_t>(args.get_int("rebuild-interval"));
   lsh.maintenance = args.get_string("maintenance") == "incremental"
                         ? LshMaintenance::Incremental
@@ -181,9 +217,9 @@ int cmd_train(int argc, const char* const* argv) {
     return 1;
   }
 
-  NetworkConfig ncfg = make_slide_mlp(train.feature_dim(),
+  NetworkConfig ncfg = make_slide_mlp(feature_dim,
                                       static_cast<std::size_t>(args.get_int("hidden")),
-                                      train.label_dim(), lsh, precision,
+                                      label_dim, lsh, precision,
                                       static_cast<std::uint64_t>(args.get_int("seed")));
   if (args.get_flag("linear-hidden")) ncfg.layers[0].activation = Activation::Linear;
   Network net(ncfg);
@@ -199,10 +235,26 @@ int cmd_train(int argc, const char* const* argv) {
                  : shuffle == "examples" ? ShuffleMode::Examples
                                          : ShuffleMode::Batches;
   Trainer trainer(net, tcfg);
-  const TrainResult result = trainer.train(train, test);
+  const TrainResult result =
+      streaming ? trainer.train(*stream, test) : trainer.train(train, test);
   for (const auto& e : result.history) {
     std::printf("epoch %zu: %.3fs  loss=%.4f  P@1=%.4f\n", e.epoch, e.train_seconds,
                 e.avg_loss, e.p_at_1);
+  }
+  if (streaming) {
+    // Accounting for the last epoch: how quickly training started and how
+    // much of the loader the pipeline failed to hide behind compute.
+    const StreamStats& ss = trainer.last_stream_stats();
+    const double epoch_s = result.history.empty() ? 0.0
+                                                  : result.history.back().train_seconds;
+    const double overlap =
+        epoch_s > 0.0 ? 1.0 - ss.loader_wait_seconds / epoch_s : 0.0;
+    std::printf("streaming: first_batch=%.3fs first_chunk=%.3fs loader_wait=%.3fs "
+                "overlap=%.1f%% chunks=%zu examples=%zu\n",
+                ss.first_batch_seconds, ss.first_chunk_seconds, ss.loader_wait_seconds,
+                100.0 * overlap, ss.chunks, ss.examples);
+    std::printf("peak_rss: %.1f MiB\n",
+                static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0));
   }
   std::printf("final: P@1=%.4f P@5=%.4f avg_epoch=%.3fs\n",
               trainer.evaluate_p_at_1(test, 5000), trainer.evaluate_p_at_k(test, 5, 5000),
