@@ -45,7 +45,7 @@ class OrderedChunkQueue {
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     consumer_cv_.wait(lock, [&] {
-      return error_ || closed_ || slots_[next_ % window_].has_value();
+      return error_ || aborted_ || closed_ || slots_[next_ % window_].has_value();
     });
     if (error_) {
       std::exception_ptr e = std::exchange(error_, nullptr);
@@ -53,6 +53,7 @@ class OrderedChunkQueue {
       producer_cv_.notify_all();
       std::rethrow_exception(e);
     }
+    if (aborted_) return std::nullopt;  // error already delivered, or abort()ed
     std::optional<T>& slot = slots_[next_ % window_];
     if (!slot.has_value()) return std::nullopt;  // closed and drained
     std::optional<T> out = std::move(slot);
@@ -71,10 +72,15 @@ class OrderedChunkQueue {
     consumer_cv_.notify_all();
   }
 
-  // Producer side: deliver an exception to the consumer's next pop().
+  // Producer side: deliver an exception to the consumer's next pop().  Also
+  // aborts the queue: the failed sequence number will never arrive, so peer
+  // producers blocked in push() waiting on it must drain out immediately
+  // rather than after (or without) a consumer pop.
   void fail(std::exception_ptr e) {
     std::lock_guard lock(mutex_);
     if (!error_) error_ = std::move(e);
+    aborted_ = true;
+    producer_cv_.notify_all();
     consumer_cv_.notify_all();
   }
 

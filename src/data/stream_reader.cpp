@@ -43,6 +43,18 @@ ChunkStream::~ChunkStream() {
   if (state_->coordinator.joinable()) state_->coordinator.join();
 }
 
+ChunkStream& ChunkStream::operator=(ChunkStream&& other) noexcept {
+  if (this == &other) return *this;
+  // Shut down any epoch still in flight before dropping its state; a
+  // defaulted move would destroy a joinable coordinator thread (terminate).
+  if (state_) {
+    state_->queue.abort();
+    if (state_->coordinator.joinable()) state_->coordinator.join();
+  }
+  state_ = std::move(other.state_);
+  return *this;
+}
+
 std::optional<Dataset> ChunkStream::next() {
   Timer wait;
   std::optional<Dataset> out = state_->queue.pop();  // rethrows loader errors
@@ -188,14 +200,24 @@ ChunkStream StreamingDataset::begin_epoch(std::uint64_t seed, std::uint64_t epoc
           s->order.size(), 1, [this, s](unsigned, std::size_t lo, std::size_t hi) {
             for (std::size_t p = lo; p < hi; ++p) {
               if (s->queue.aborted()) return;  // consumer abandoned the epoch
-              Dataset shard = read_chunk(s->order[p]);
-              if (!s->queue.push(p, std::move(shard))) return;
+              // Fail the queue from inside the worker, not after the pool
+              // drains: sequence p will never be pushed, so peer workers
+              // blocked in push() behind it would otherwise deadlock the
+              // whole epoch.  fail() aborts the queue, draining them out,
+              // and pop() rethrows on the consumer thread.
+              try {
+                Dataset shard = read_chunk(s->order[p]);
+                if (!s->queue.push(p, std::move(shard))) return;
+              } catch (...) {
+                s->queue.fail(std::current_exception());
+                return;
+              }
             }
           });
       s->queue.close();
     } catch (...) {
-      // I/O or parse failure on a worker: surface it on the consumer's next
-      // pop() instead of tearing the process down.
+      // Pool-level failure (not a chunk's): surface it on the consumer's
+      // next pop() instead of tearing the process down.
       s->queue.fail(std::current_exception());
     }
   });

@@ -52,7 +52,9 @@ class StreamingDataset;
 class ChunkStream {
  public:
   ChunkStream(ChunkStream&&) noexcept = default;
-  ChunkStream& operator=(ChunkStream&&) noexcept = default;
+  // Cancels and joins any epoch this stream still holds before taking over
+  // the other's (a defaulted move would std::terminate on the live thread).
+  ChunkStream& operator=(ChunkStream&&) noexcept;
   ~ChunkStream();
 
   // Next parsed chunk, or std::nullopt at end of epoch.  Loader failures

@@ -82,6 +82,10 @@ XcHeader parse_xc_header(std::string_view line, const std::string& source) {
     if (ec != std::errc()) ctx.fail("bad header '" + std::string(line) + "'");
     p = next;
   }
+  // Whole-line parse, same discipline as record tokens: anything after the
+  // third field ("10 5 3x", "10 5 3 junk") is corruption, not a header.
+  while (p < end && is_sep(*p)) ++p;
+  if (p != end) ctx.fail("bad header '" + std::string(line) + "'");
   if (h.feature_dim == 0 || h.label_dim == 0) ctx.fail("zero feature or label dimension");
   return h;
 }

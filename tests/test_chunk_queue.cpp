@@ -71,6 +71,23 @@ TEST(OrderedChunkQueue, FailDeliversExceptionToConsumer) {
   // The failure also aborts the queue so stuck producers drain out.
   EXPECT_TRUE(q.aborted());
   EXPECT_FALSE(q.push(1, 1));
+  // A consumer that catches the error and pops again sees end-of-stream,
+  // not a hang (the queue was never close()d).
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(OrderedChunkQueue, FailUnblocksProducerStuckInPush) {
+  OrderedChunkQueue<int> q(1);
+  ASSERT_TRUE(q.push(0, 0));
+  // This producer waits for the window to advance; the consumer never pops
+  // because a peer producer failed.  fail() alone must drain it out.
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.push(1, 1)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.fail(std::make_exception_ptr(std::runtime_error("peer died")));
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_THROW((void)q.pop(), std::runtime_error);
 }
 
 TEST(OrderedChunkQueue, CloseThenDrainReturnsBufferedItemsThenNullopt) {

@@ -208,6 +208,53 @@ TEST(StreamReader, CorruptRecordSurfacesOnNextWithPathAndLine) {
   }
 }
 
+TEST(StreamReader, CorruptChunkAmongManyGoodChunksThrowsInsteadOfHanging) {
+  // Regression: a failed chunk's sequence number is never pushed.  Before
+  // fail() was raised from inside the worker, surviving producers filled the
+  // reorder window behind the missing slot and the consumer waited on it
+  // forever.  Needs prefetch >= 2 and >= prefetch good chunks after the bad
+  // one to reproduce the hang.
+  const std::string path = ::testing::TempDir() + "/slide_stream_corrupt_many.txt";
+  {
+    std::ofstream out(path);
+    out << "6 10 4\n"
+        << "0 1:1.0\n"
+        << "1 2:bad\n"
+        << "2 3:1.0\n"
+        << "3 4:1.0\n"
+        << "0 5:1.0\n"
+        << "1 6:1.0\n";
+  }
+  StreamingDataset stream(path, small_chunks(1, 2));  // one chunk per line
+  ASSERT_EQ(stream.num_chunks(), 6u);
+  ChunkStream cs = stream.begin_epoch(1, 0, false);
+  try {
+    while (cs.next()) {
+    }
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3"), std::string::npos) << e.what();
+  }
+  // After the error is delivered, further next() calls see end-of-stream.
+  EXPECT_FALSE(cs.next().has_value());
+}
+
+TEST(StreamReader, MoveAssignOverActiveStreamShutsItDown) {
+  auto [path, eager] = write_fixture(600, "slide_stream_moveassign.txt");
+  (void)eager;
+  StreamingDataset stream(path, small_chunks(2048, 2));
+  ASSERT_GT(stream.num_chunks(), 4u);
+
+  ChunkStream cs = stream.begin_epoch(1, 0, false);
+  ASSERT_TRUE(cs.next().has_value());
+  // Assigning the next epoch over an active stream must cancel and join the
+  // old epoch's coordinator, not destroy a joinable thread (terminate).
+  cs = stream.begin_epoch(1, 1, false);
+  std::size_t examples = 0;
+  while (auto shard = cs.next()) examples += shard->size();
+  EXPECT_EQ(examples, 600u);
+}
+
 TEST(StreamReader, TruncationAfterIndexScanSurfacesOnNext) {
   auto [path, eager] = write_fixture(400, "slide_stream_truncated.txt");
   (void)eager;

@@ -133,6 +133,18 @@ TEST(SvmReader, RejectsBadHeader) {
   EXPECT_THROW(read_xc(in), std::runtime_error);
 }
 
+TEST(SvmReader, RejectsTrailingGarbageInHeader) {
+  // Whole-line discipline, same as record tokens: a fourth field or a glued
+  // suffix on the third is corruption, not a header.
+  for (const char* header : {"10 5 3x\n", "10 5 3 junk\n", "10 5 3 4\n"}) {
+    std::istringstream in(std::string(header) + "0 1:1.0\n");
+    EXPECT_THROW(read_xc(in), std::runtime_error) << header;
+  }
+  // Trailing whitespace/CRLF is still fine.
+  std::istringstream ok("1 10 4  \r\n0 1:1.0\n");
+  EXPECT_EQ(read_xc(ok).size(), 1u);
+}
+
 TEST(SvmReader, RejectsFeatureIndexBeyondHeader) {
   std::istringstream in(
       "1 10 4\n"
