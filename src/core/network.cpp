@@ -217,8 +217,10 @@ void Network::adam_step(const AdamConfig& cfg, ThreadPool* pool) {
   for (auto& L : layers_) L.adam_step(cfg, bias, pool);
 }
 
-void Network::on_batch_end(ThreadPool* pool) {
-  for (auto& L : layers_) L.on_batch_end(pool);
+std::size_t Network::on_batch_end(ThreadPool* pool) {
+  std::size_t refreshed = 0;
+  for (auto& L : layers_) refreshed += L.on_batch_end(pool) ? 1 : 0;
+  return refreshed;
 }
 
 void Network::rebuild_hash_tables(ThreadPool* pool) {

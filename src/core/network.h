@@ -70,7 +70,8 @@ class Network {
   void adam_step(const AdamConfig& cfg, ThreadPool* pool);
 
   // Batch bookkeeping: advances every hashed layer's rebuild schedule.
-  void on_batch_end(ThreadPool* pool);
+  // Returns how many layers refreshed their tables this batch (usually 0).
+  std::size_t on_batch_end(ThreadPool* pool);
   // Forces an immediate rebuild of all hash tables.
   void rebuild_hash_tables(ThreadPool* pool);
 

@@ -12,7 +12,80 @@
 
 namespace slide {
 
-Trainer::Trainer(Network& net, TrainerConfig cfg) : net_(net), cfg_(cfg) {}
+// Handle bundle registered once at construction; per-layer occupancy gauges
+// get a {layer="i"} label per hashed layer.  All updates happen between
+// batches or between epochs — never inside the HOGWILD fan-out.
+struct Trainer::Telemetry {
+  obs::Counter& epochs;
+  obs::Counter& examples;
+  obs::Counter& batches;
+  obs::Counter& lsh_rebuilds;
+  obs::Histogram& lsh_rebuild_us;
+  obs::Gauge& loss;
+  obs::Gauge& p_at_1;
+  obs::Gauge& epoch_seconds;
+  obs::Gauge& active_set_avg;
+  obs::Gauge& stream_chunks;
+  obs::Gauge& stream_loader_wait_seconds;
+  obs::Gauge& stream_overlap_ratio;
+  obs::Gauge& stream_first_batch_seconds;
+  struct LayerGauges {
+    std::size_t layer;
+    obs::Gauge* entries;
+    obs::Gauge* occupancy;
+    obs::Gauge* avg_bucket;
+  };
+  std::vector<LayerGauges> layers;
+
+  Telemetry(obs::MetricsRegistry& reg, const Network& net)
+      : epochs(reg.counter("slide_train_epochs_total", "Training epochs completed")),
+        examples(reg.counter("slide_train_examples_total", "Training examples consumed")),
+        batches(reg.counter("slide_train_batches_total", "Training batches completed")),
+        lsh_rebuilds(reg.counter("slide_train_lsh_rebuilds_total",
+                                 "Hash-table refreshes across all hashed layers")),
+        lsh_rebuild_us(reg.histogram("slide_train_lsh_rebuild_us",
+                                     "Wall-clock microseconds per batch spent "
+                                     "refreshing LSH tables (rebuild batches only)")),
+        loss(reg.gauge("slide_train_loss", "Average training loss, last epoch")),
+        p_at_1(reg.gauge("slide_train_p_at_1", "Test P@1 after the last epoch")),
+        epoch_seconds(reg.gauge("slide_train_epoch_seconds",
+                                "Wall-clock seconds of the last training epoch")),
+        active_set_avg(reg.gauge("slide_train_active_set_avg",
+                                 "Average output-layer active-set size per "
+                                 "example, last epoch")),
+        stream_chunks(reg.gauge("slide_stream_chunks", "Chunks consumed, last streaming epoch")),
+        stream_loader_wait_seconds(
+            reg.gauge("slide_stream_loader_wait_seconds",
+                      "Seconds the trainer blocked on the chunk queue, last epoch")),
+        stream_overlap_ratio(
+            reg.gauge("slide_stream_overlap_ratio",
+                      "1 - loader_wait/epoch: fraction of loader time hidden "
+                      "behind compute, last streaming epoch")),
+        stream_first_batch_seconds(
+            reg.gauge("slide_stream_first_batch_seconds",
+                      "Epoch start to first gradient step, last streaming epoch")) {
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      if (!net.layer(i).uses_hashing()) continue;
+      const obs::Labels labels = {{"layer", std::to_string(i)}};
+      layers.push_back(LayerGauges{
+          i,
+          &reg.gauge("slide_lsh_table_entries",
+                     "Total ids resident across a layer's hash tables", labels),
+          &reg.gauge("slide_lsh_bucket_occupancy",
+                     "Fraction of a layer's hash buckets that are non-empty", labels),
+          &reg.gauge("slide_lsh_avg_bucket_size",
+                     "Average ids per non-empty bucket in a layer's tables", labels)});
+    }
+  }
+};
+
+Trainer::Trainer(Network& net, TrainerConfig cfg) : net_(net), cfg_(cfg) {
+  if (cfg_.metrics != nullptr) {
+    telemetry_ = std::make_unique<Telemetry>(*cfg_.metrics, net_);
+  }
+}
+
+Trainer::~Trainer() = default;
 
 void Trainer::ensure_workspaces() {
   const unsigned ranks = global_pool().size();
@@ -20,6 +93,67 @@ void Trainer::ensure_workspaces() {
     workspaces_.push_back(
         net_.make_workspace(mix64(cfg_.seed, workspaces_.size(), 0x3A7Full)));
   }
+  if (telemetry_ != nullptr && active_size_partials_.size() < ranks) {
+    active_size_partials_.resize(ranks);
+    active_count_partials_.resize(ranks);
+  }
+}
+
+void Trainer::publish_epoch_metrics(const EpochRecord& rec) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->epochs.inc();
+  telemetry_->loss.set(rec.avg_loss);
+  telemetry_->p_at_1.set(rec.p_at_1);
+  telemetry_->epoch_seconds.set(rec.train_seconds);
+
+  std::uint64_t active_sum = 0;
+  std::uint64_t active_n = 0;
+  for (auto& a : active_size_partials_) {
+    active_sum += a.value;
+    a.value = 0;
+  }
+  for (auto& c : active_count_partials_) {
+    active_n += c.value;
+    c.value = 0;
+  }
+  if (active_n > 0) {
+    telemetry_->active_set_avg.set(static_cast<double>(active_sum) /
+                                   static_cast<double>(active_n));
+  }
+
+  // Table occupancy is read between epochs, when no worker touches the
+  // tables (same single-threaded window as the rebuild schedule).
+  for (const auto& lg : telemetry_->layers) {
+    const lsh::LshTables* tables = net_.layer(lg.layer).tables();
+    if (tables == nullptr) continue;
+    std::size_t entries = 0;
+    std::size_t non_empty = 0;
+    for (std::size_t t = 0; t < tables->num_tables(); ++t) {
+      const lsh::TableStats ts = tables->stats(t);
+      entries += ts.total_entries;
+      non_empty += ts.non_empty_buckets;
+    }
+    const std::size_t buckets = tables->num_tables() * tables->bucket_range();
+    lg.entries->set(static_cast<double>(entries));
+    lg.occupancy->set(buckets > 0 ? static_cast<double>(non_empty) /
+                                        static_cast<double>(buckets)
+                                  : 0.0);
+    lg.avg_bucket->set(non_empty > 0 ? static_cast<double>(entries) /
+                                           static_cast<double>(non_empty)
+                                     : 0.0);
+  }
+}
+
+void Trainer::publish_stream_metrics(double epoch_seconds) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->stream_chunks.set(static_cast<double>(stream_stats_.chunks));
+  telemetry_->stream_loader_wait_seconds.set(stream_stats_.loader_wait_seconds);
+  telemetry_->stream_first_batch_seconds.set(stream_stats_.first_batch_seconds);
+  const double overlap =
+      epoch_seconds > 0.0
+          ? 1.0 - stream_stats_.loader_wait_seconds / epoch_seconds
+          : 0.0;
+  telemetry_->stream_overlap_ratio.set(std::max(0.0, std::min(1.0, overlap)));
 }
 
 double Trainer::train_one_epoch(const data::Dataset& train_set) {
@@ -75,22 +209,44 @@ void Trainer::hogwild_batch(const data::Dataset& ds, const std::uint32_t* order,
 
   // HOGWILD fan-out: every worker pulls dynamic chunks of the batch and
   // races gradient accumulation into the shared arenas.
+  const bool track_active = telemetry_ != nullptr;
   pool.parallel_for_dynamic(count, grain,
                             [&](unsigned rank, std::size_t lo, std::size_t hi) {
     Workspace& ws = workspaces_[rank];
     double local_loss = 0.0;
+    std::uint64_t local_active = 0;
     for (std::size_t off = lo; off < hi; ++off) {
       const std::size_t idx = order == nullptr ? begin + off : order[begin + off];
       const auto x = ds.features(idx);
       const auto labels = ds.labels(idx);
       local_loss += net_.forward(x, labels, ws, /*train=*/true);
+      if (track_active) local_active += ws.layers.back().active.size();
       net_.backward(x, labels, ws);
     }
     loss_partials[rank].value += local_loss;
+    if (track_active) {
+      active_size_partials_[rank].value += local_active;
+      active_count_partials_[rank].value += hi - lo;
+    }
   });
 
   net_.adam_step(cfg_.adam, &pool);
-  net_.on_batch_end(&pool);
+  if (telemetry_ != nullptr) {
+    // Rebuild batches are rare (the interval grows geometrically), so timing
+    // every on_batch_end is two clock reads per batch, paid only when a
+    // registry is attached.
+    Timer rebuild_timer;
+    const std::size_t refreshed = net_.on_batch_end(&pool);
+    if (refreshed > 0) {
+      telemetry_->lsh_rebuilds.inc(refreshed);
+      telemetry_->lsh_rebuild_us.record(
+          static_cast<std::uint64_t>(rebuild_timer.seconds() * 1e6));
+    }
+    telemetry_->batches.inc();
+    telemetry_->examples.inc(count);
+  } else {
+    net_.on_batch_end(&pool);
+  }
 }
 
 double Trainer::train_one_epoch(data::StreamingDataset& train_stream) {
@@ -188,6 +344,7 @@ double Trainer::train_one_epoch(data::StreamingDataset& train_stream) {
 
   stream_stats_.loader_wait_seconds = epoch.wait_seconds();
   stream_stats_.first_chunk_seconds = std::max(0.0, epoch.first_chunk_seconds());
+  publish_stream_metrics(seconds);
 
   double total_loss = 0.0;
   for (const auto& l : loss_partials) total_loss += l.value;
@@ -262,6 +419,7 @@ TrainResult Trainer::train(const data::Dataset& train_set, const data::Dataset& 
     rec.cumulative_seconds = cumulative;
     rec.avg_loss = last_avg_loss_;
     rec.p_at_1 = evaluate_p_at_1(test_set, cfg_.eval_max_examples);
+    publish_epoch_metrics(rec);
     result.history.push_back(rec);
     if (cfg_.verbose) {
       log_info("epoch ", e, ": time=", secs, "s loss=", rec.avg_loss, " P@1=", rec.p_at_1);
@@ -287,6 +445,7 @@ TrainResult Trainer::train(data::StreamingDataset& train_stream,
     rec.cumulative_seconds = cumulative;
     rec.avg_loss = last_avg_loss_;
     rec.p_at_1 = evaluate_p_at_1(test_set, cfg_.eval_max_examples);
+    publish_epoch_metrics(rec);
     result.history.push_back(rec);
     if (cfg_.verbose) {
       log_info("epoch ", e, ": time=", secs, "s loss=", rec.avg_loss,

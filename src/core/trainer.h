@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/network.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "util/aligned.h"
 
 namespace slide {
@@ -36,6 +38,11 @@ struct TrainerConfig {
   // Cap on test examples used for the per-epoch P@1 estimate (0 = all).
   std::size_t eval_max_examples = 2000;
   bool verbose = false;
+  // When set, the trainer publishes training telemetry (loss, P@1, LSH
+  // rebuilds, hash-table occupancy, active-set sizes, streaming-loader
+  // overlap) into this registry.  nullptr = no instrumentation and zero
+  // per-batch overhead beyond one branch.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct EpochRecord {
@@ -68,6 +75,7 @@ struct StreamStats {
 class Trainer {
  public:
   Trainer(Network& net, TrainerConfig cfg);
+  ~Trainer();
 
   // Full run: cfg.epochs epochs, evaluating P@1 after each.
   TrainResult train(const data::Dataset& train_set, const data::Dataset& test_set);
@@ -101,6 +109,12 @@ class Trainer {
  private:
   void ensure_workspaces();
 
+  // Publishes one epoch's telemetry (loss, P@1, per-layer table occupancy,
+  // average output-layer active-set size).  No-op without cfg_.metrics.
+  void publish_epoch_metrics(const EpochRecord& rec);
+  // Publishes the streaming-loader gauges for the epoch that just finished.
+  void publish_stream_metrics(double epoch_seconds);
+
   // One HOGWILD batch: fan the examples out over the pool, race gradient
   // accumulation, then run the optimizer step and the rebuild bookkeeping.
   // `order` remaps example offsets (nullptr = contiguous [begin, begin+count)).
@@ -115,6 +129,14 @@ class Trainer {
   double last_avg_loss_ = 0.0;
   std::uint64_t epoch_counter_ = 0;
   StreamStats stream_stats_;
+
+  // Telemetry handles (defined in trainer.cpp); null when cfg_.metrics is.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
+  // Per-rank HOGWILD accumulation of the output layer's active-set size;
+  // cache-line padded like loss_partials, drained once per epoch.
+  std::vector<CacheAligned<std::uint64_t>> active_size_partials_;
+  std::vector<CacheAligned<std::uint64_t>> active_count_partials_;
 };
 
 }  // namespace slide

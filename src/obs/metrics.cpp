@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace slide::obs {
+namespace detail {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// A label set with one extra pair spliced in (quantile="..." for summaries).
+std::string labels_with(const std::string& rendered, const char* key,
+                        const char* value) {
+  std::string extra = std::string(key) + "=\"" + value + "\"";
+  if (rendered.empty()) return "{" + extra + "}";
+  std::string out = rendered;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+}  // namespace detail
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(true);
+  return registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(const std::string& name,
+                                                         const std::string& help,
+                                                         const Labels& labels,
+                                                         Kind kind) {
+  if (!detail::valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: " + name);
+  }
+  for (const auto& [k, v] : labels) {
+    if (!detail::valid_label_name(k)) {
+      throw std::invalid_argument("invalid label name: " + k + " (metric " + name + ")");
+    }
+  }
+  const std::string label_str = detail::render_labels(labels);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.help = help;
+    fam.kind = kind;
+  } else if (fam.kind != kind) {
+    throw std::invalid_argument("metric " + name +
+                                " re-registered with a different kind");
+  }
+  for (Series& s : fam.series) {
+    if (s.label_str == label_str) return s;
+  }
+  Series& s = fam.series.emplace_back();
+  s.label_str = label_str;
+  switch (kind) {
+    case Kind::kCounter:
+      s.counter.reset(new Counter(enabled_));
+      break;
+    case Kind::kGauge:
+      s.gauge.reset(new Gauge(enabled_));
+      break;
+    case Kind::kHistogram:
+      s.histogram.reset(new Histogram(enabled_));
+      break;
+  }
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return *find_or_create(name, help, labels, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::expose() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  char buf[64];
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + detail::escape_help(fam.help) + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "summary\n"; break;
+    }
+    for (const Series& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", s.counter->value());
+          out += name + s.label_str + buf;
+          break;
+        case Kind::kGauge:
+          out += name + s.label_str + " ";
+          detail::append_double(out, s.gauge->value());
+          out += '\n';
+          break;
+        case Kind::kHistogram: {
+          const util::HistogramSnapshot snap = s.histogram->snapshot();
+          static constexpr struct {
+            const char* label;
+            double q;
+          } kQuantiles[] = {
+              {"0.5", 0.5}, {"0.9", 0.9}, {"0.95", 0.95}, {"0.99", 0.99}};
+          for (const auto& q : kQuantiles) {
+            out += name + detail::labels_with(s.label_str, "quantile", q.label) + " ";
+            detail::append_double(out, static_cast<double>(snap.quantile(q.q)));
+            out += '\n';
+          }
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", snap.sum);
+          out += name + "_sum" + s.label_str + buf;
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", snap.count);
+          out += name + "_count" + s.label_str + buf;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace slide::obs

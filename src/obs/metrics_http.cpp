@@ -1,0 +1,131 @@
+#include "obs/metrics_http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "serve/net.h"
+#include "util/logging.h"
+
+namespace slide::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kRequestTimeoutMs = 2000;
+constexpr int kAcceptPollMs = 200;  // stop() latency bound
+
+// Reads until the header terminator, EOF, the size cap, or the timeout.
+// Returns true if a complete request head landed in `req`.
+bool read_request_head(int fd, std::string& req) {
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes) {
+    if (req.find("\r\n\r\n") != std::string::npos) return true;
+    if (serve::net::wait_ready(fd, POLLIN, kRequestTimeoutMs) !=
+        serve::net::IoResult::Ok) {
+      return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  return false;
+}
+
+void write_response(int fd, const char* status, const std::string& body,
+                    const char* content_type) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, content_type, body.size());
+  if (serve::net::write_full(fd, head, std::strlen(head), kRequestTimeoutMs) !=
+      serve::net::IoResult::Ok) {
+    return;
+  }
+  serve::net::write_full(fd, body.data(), body.size(), kRequestTimeoutMs);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry& registry,
+                                     const std::string& bind_address,
+                                     std::uint16_t port)
+    : registry_(registry),
+      scrapes_(registry.counter("slide_metrics_scrapes_total",
+                                "Successful /metrics scrapes served")),
+      bind_address_(bind_address) {
+  listen_fd_ = serve::net::create_listener(bind_address_, port, 16, &port_);
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void MetricsHttpServer::start() {
+  if (thread_.joinable()) return;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { accept_main(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void MetricsHttpServer::accept_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const auto ready =
+        serve::net::wait_ready(listen_fd_, POLLIN, kAcceptPollMs);
+    if (ready == serve::net::IoResult::Timeout) continue;
+    if (ready != serve::net::IoResult::Ok) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      log_warn("metrics: accept failed: ", std::strerror(errno));
+      break;
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  std::string req;
+  if (!read_request_head(fd, req)) return;
+  const std::size_t line_end = req.find("\r\n");
+  const std::string line = req.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    write_response(fd, "400 Bad Request", "bad request\n", "text/plain");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    write_response(fd, "405 Method Not Allowed", "only GET is supported\n",
+                   "text/plain");
+    return;
+  }
+  if (path != "/metrics") {
+    write_response(fd, "404 Not Found", "see /metrics\n", "text/plain");
+    return;
+  }
+  scrapes_.inc();
+  write_response(fd, "200 OK", registry_.expose(),
+                 "text/plain; version=0.0.4; charset=utf-8");
+}
+
+}  // namespace slide::obs

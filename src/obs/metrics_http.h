@@ -1,0 +1,50 @@
+// Tiny HTTP/1.1 listener that serves a MetricsRegistry's Prometheus text
+// exposition at GET /metrics.  One dedicated accept thread handles
+// connections serially (scrapes arrive every few seconds, not thousands per
+// second — a reactor here would be machinery without a workload); each
+// response closes the connection.  Reuses the serving stack's socket helpers
+// (serve/net.h) so there is one EINTR-safe I/O layer in the tree.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace slide::obs {
+
+class Counter;
+class MetricsRegistry;
+
+class MetricsHttpServer {
+ public:
+  // Binds immediately (port 0 = ephemeral; see port()); throws
+  // std::runtime_error on bind failure.  The registry must outlive the
+  // server.
+  MetricsHttpServer(MetricsRegistry& registry, const std::string& bind_address,
+                    std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the accept thread
+
+  std::uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return bind_address_; }
+
+ private:
+  void accept_main();
+  void handle_connection(int fd);
+
+  MetricsRegistry& registry_;
+  Counter& scrapes_;
+  std::string bind_address_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace slide::obs

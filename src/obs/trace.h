@@ -1,0 +1,29 @@
+// Request trace sampling: a cheap 1/N admission filter for structured
+// per-request trace lines.  rate 0 disables sampling entirely, rate 1 traces
+// every request.  Thread-safe; one relaxed fetch_add per request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace slide::obs {
+
+class TraceSampler {
+ public:
+  explicit TraceSampler(std::uint32_t rate = 0) : rate_(rate) {}
+
+  // True for one request out of every `rate` (the first of each stride).
+  bool should_sample() {
+    if (rate_ == 0) return false;
+    if (rate_ == 1) return true;
+    return counter_.fetch_add(1, std::memory_order_relaxed) % rate_ == 0;
+  }
+
+  std::uint32_t rate() const { return rate_; }
+
+ private:
+  const std::uint32_t rate_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace slide::obs

@@ -46,7 +46,41 @@ BatchingServer::BatchingServer(infer::InferenceEngine& engine, ServerConfig conf
       // whatever queued while the last batch ran.
       delay_(pool_width(config_.pool) > 1
                  ? std::chrono::microseconds(config_.policy.max_queue_delay_us)
-                 : std::chrono::microseconds(0)) {
+                 : std::chrono::microseconds(0)),
+      owned_metrics_(config_.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(config_.metrics != nullptr ? *config_.metrics : *owned_metrics_),
+      accepted_(metrics_.counter("slide_requests_total",
+                                 "Requests admitted to the batching queue")),
+      completed_(metrics_.counter("slide_requests_completed_total",
+                                  "Requests answered Ok (degraded or not)")),
+      rejected_(metrics_.counter("slide_requests_rejected_total",
+                                 "Requests bounced at admission (queue full)")),
+      shed_(metrics_.counter("slide_requests_shed_total",
+                             "Queued requests evicted to admit tighter-deadline work")),
+      expired_count_(metrics_.counter("slide_requests_expired_total",
+                                      "Requests whose deadline passed before dispatch")),
+      degraded_(metrics_.counter("slide_requests_degraded_total",
+                                 "Requests served via the sampled path under pressure")),
+      errors_(metrics_.counter("slide_requests_error_total",
+                               "Requests failed by an engine error")),
+      batches_(metrics_.counter("slide_batches_total", "Batches dispatched")),
+      queue_depth_gauge_(metrics_.gauge("slide_queue_depth",
+                                        "Backlog at the last batch formation")),
+      load_state_gauge_(metrics_.gauge(
+          "slide_load_state", "Load state (0=normal 1=pressure 2=saturated)")),
+      queue_us_(metrics_.histogram(
+          "slide_request_stage_us",
+          "Per-request stage latency in microseconds, by stage",
+          {{"stage", "queue"}})),
+      infer_us_(metrics_.histogram(
+          "slide_request_stage_us",
+          "Per-request stage latency in microseconds, by stage",
+          {{"stage", "infer"}})),
+      total_us_(metrics_.histogram(
+          "slide_request_total_us",
+          "Server-side request latency (admission to completion), microseconds")) {
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
@@ -63,7 +97,7 @@ void BatchingServer::complete(Pending& req, Reply&& reply) {
 RequestStatus BatchingServer::admit(Pending& req, bool may_block) {
   auto& faults = util::FaultInjector::instance();
   if (faults.enabled() && faults.should_fail(util::FaultPoint::AdmissionFail)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.inc();
     return RequestStatus::Rejected;
   }
 
@@ -80,7 +114,7 @@ RequestStatus BatchingServer::admit(Pending& req, bool may_block) {
         space_cv_.wait(lock, space);
       } else if (!space_cv_.wait_until(lock, req.deadline, space)) {
         // The producer's budget ran out while parked on a full queue.
-        expired_count_.fetch_add(1, std::memory_order_relaxed);
+        expired_count_.inc();
         return RequestStatus::DeadlineExceeded;
       }
     }
@@ -102,16 +136,16 @@ RequestStatus BatchingServer::admit(Pending& req, bool may_block) {
         }
       }
       if (victim_it == queue_.end()) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.inc();
         return RequestStatus::Rejected;
       }
       victim = std::move(*victim_it);
       queue_.erase(victim_it);
       have_victim = true;
-      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_.inc();
     }
     queue_.push_back(std::move(req));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.inc();
   }
   if (have_victim) {
     Reply r;
@@ -189,7 +223,7 @@ Clock::time_point BatchingServer::earliest_deadline_locked() const {
 
 void BatchingServer::publish_load_state(std::size_t backlog) {
   if (config_.pressure.degrade_p99_us != 0 &&
-      batches_.load(std::memory_order_relaxed) % kLatencyCheckInterval == 0) {
+      batches_.value() % kLatencyCheckInterval == 0) {
     latency_pressure_.store(
         total_us_.snapshot().p99() >= config_.pressure.degrade_p99_us,
         std::memory_order_relaxed);
@@ -207,6 +241,8 @@ void BatchingServer::publish_load_state(std::size_t backlog) {
     state = LoadState::Pressure;
   }
   load_state_.store(static_cast<std::uint8_t>(state), std::memory_order_relaxed);
+  queue_depth_gauge_.set(static_cast<double>(backlog));
+  load_state_gauge_.set(static_cast<double>(static_cast<std::uint8_t>(state)));
 }
 
 void BatchingServer::dispatcher_main() {
@@ -217,7 +253,7 @@ void BatchingServer::dispatcher_main() {
     for (Pending& p : expired_) {
       Reply r;
       r.status = RequestStatus::DeadlineExceeded;
-      expired_count_.fetch_add(1, std::memory_order_relaxed);
+      expired_count_.inc();
       complete(p, std::move(r));
     }
     expired_.clear();
@@ -350,9 +386,14 @@ void BatchingServer::run_batch(std::vector<Pending>& batch, bool degraded) {
           reply.degraded = degraded;
           reply.ids.assign(row, row + count);
           reply.scores.assign(srow, srow + count);
-          total_us_.record(micros_between(req.enqueued, Clock::now()));
-          completed_.fetch_add(1, std::memory_order_relaxed);
-          if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+          const auto inferred = Clock::now();
+          reply.timing.admitted = req.enqueued;
+          reply.timing.formed = formed;
+          reply.timing.inferred = inferred;
+          infer_us_.record(micros_between(formed, inferred));
+          total_us_.record(micros_between(req.enqueued, inferred));
+          completed_.inc();
+          if (degraded) degraded_.inc();
           answered[q].store(true, std::memory_order_release);
           complete(req, std::move(reply));
         });
@@ -365,23 +406,23 @@ void BatchingServer::run_batch(std::vector<Pending>& batch, bool degraded) {
       if (answered[q].load(std::memory_order_acquire)) continue;
       Reply reply;
       reply.status = RequestStatus::Error;
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_.inc();
       complete(batch[q], std::move(reply));
     }
   }
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_.inc();
 }
 
 ServerStats BatchingServer::stats() const {
   ServerStats s;
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.expired = expired_count_.load(std::memory_order_relaxed);
-  s.degraded = degraded_.load(std::memory_order_relaxed);
-  s.errors = errors_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.value();
+  s.completed = completed_.value();
+  s.rejected = rejected_.value();
+  s.shed = shed_.value();
+  s.expired = expired_count_.value();
+  s.degraded = degraded_.value();
+  s.errors = errors_.value();
+  s.batches = batches_.value();
   s.avg_batch_size =
       s.batches == 0 ? 0.0
                      : static_cast<double>(s.completed) / static_cast<double>(s.batches);

@@ -65,12 +65,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "data/sparse_batch.h"
 #include "infer/engine.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 
 namespace slide::serve {
@@ -119,6 +121,10 @@ struct ServerConfig {
   std::size_t k = 5;                                // ids per reply (cap)
   infer::TopKMode mode = infer::TopKMode::Dense;
   ThreadPool* pool = nullptr;                       // engine fan-out; global when null
+  // Telemetry sink.  Null makes the server own a private registry, so
+  // in-process servers (tests, bench cells) stay isolated; slide_cli passes
+  // obs::MetricsRegistry::global() so /metrics sees one source of truth.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class RequestStatus : std::uint8_t {
@@ -129,11 +135,39 @@ enum class RequestStatus : std::uint8_t {
   Error = 4,  // engine failure; the request itself was well-formed
 };
 
+inline const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::ShuttingDown: return "shutting_down";
+    case RequestStatus::DeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::Error: return "error";
+  }
+  return "?";
+}
+
+// Per-request trace clock: server-side stage stamps carried on the reply so
+// the transport can extend the trace through encode and socket write.  The
+// stages partition the request's lifetime exactly:
+//   admitted->formed   queue wait
+//   formed->inferred   engine inference (includes batch execution)
+//   inferred->encoded  reply encode + handoff to the writing thread (transport)
+//   encoded->written   socket write, incl. reactor reorder wait (transport)
+// Default-constructed (epoch) stamps mean "not answered by the engine" —
+// rejected/expired replies carry no timing.
+struct RequestTiming {
+  std::chrono::steady_clock::time_point admitted{};
+  std::chrono::steady_clock::time_point formed{};
+  std::chrono::steady_clock::time_point inferred{};
+  bool stamped() const { return admitted != std::chrono::steady_clock::time_point{}; }
+};
+
 struct Reply {
   RequestStatus status = RequestStatus::Ok;
   bool degraded = false;             // answered via the sampled path under load
   std::vector<std::uint32_t> ids;    // best-first, no kInvalidId padding
   std::vector<float> scores;         // matching logits
+  RequestTiming timing;              // stage stamps (Ok replies only)
 };
 
 // Counters + latency distributions since construction.  Latencies are in
@@ -196,6 +230,10 @@ class BatchingServer {
   }
   const ServerConfig& config() const { return config_; }
   const infer::InferenceEngine& engine() const { return engine_; }
+  // The registry this server reports into (the configured one, or the
+  // private registry it created).  Transports register their own wire-level
+  // metrics here so one expose() covers the whole serving path.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
   ServerStats stats() const;
 
  private:
@@ -239,6 +277,27 @@ class BatchingServer {
   const std::size_t effective_batch_;  // >= 1
   const std::chrono::microseconds delay_;
 
+  // One source of truth for every counter/gauge/histogram below: either the
+  // caller's registry (config.metrics) or a private one owned here.  The
+  // handle references are hot-path-safe (single relaxed atomic per update)
+  // and must be declared after owned_metrics_/metrics_ (initialization
+  // order).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& accepted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_;
+  obs::Counter& shed_;
+  obs::Counter& expired_count_;
+  obs::Counter& degraded_;
+  obs::Counter& errors_;
+  obs::Counter& batches_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Gauge& load_state_gauge_;
+  obs::Histogram& queue_us_;
+  obs::Histogram& infer_us_;
+  obs::Histogram& total_us_;
+
   std::mutex mutex_;
   std::condition_variable work_cv_;   // dispatcher: queue non-empty / stopping
   std::condition_variable space_cv_;  // Block-mode producers: queue has room
@@ -250,20 +309,10 @@ class BatchingServer {
   std::mutex drain_mutex_;  // serializes concurrent drain() calls on join
   std::thread dispatcher_;
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> expired_count_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint8_t> load_state_{0};
   // Latency-tripped pressure, re-evaluated every kLatencyCheckInterval
   // batches (a histogram snapshot merges every shard; too costly per batch).
   std::atomic<bool> latency_pressure_{false};
-  util::ShardedHistogram queue_us_;
-  util::ShardedHistogram total_us_;
 };
 
 }  // namespace slide::serve

@@ -57,7 +57,20 @@ std::vector<std::uint8_t> frame_bytes(std::vector<std::uint8_t> payload) {
 }  // namespace
 
 EpollServer::EpollServer(BatchingServer& server, TransportConfig config)
-    : server_(server), config_(std::move(config)), next_conn_id_(kFirstConnId) {
+    : server_(server),
+      config_(std::move(config)),
+      connections_(server.metrics().counter("slide_connections_total",
+                                            "Connections accepted")),
+      idle_closed_(server.metrics().counter("slide_connections_idle_closed_total",
+                                            "Connections closed for idleness")),
+      accept_backoffs_(server.metrics().counter(
+          "slide_accept_backoffs_total",
+          "accept() backoffs after fd exhaustion (EMFILE/ENFILE)")),
+      overflow_closed_(server.metrics().counter(
+          "slide_connections_overflow_closed_total",
+          "Connections dropped for exceeding the write-backlog cap")),
+      telemetry_(server.metrics(), config_.trace_sample),
+      next_conn_id_(kFirstConnId) {
   listen_fd_ =
       net::create_listener(config_.bind_address, config_.port, config_.backlog, &port_);
   net::set_nonblocking(listen_fd_, true);
@@ -144,10 +157,10 @@ void EpollServer::stop() {
 
 TransportStats EpollServer::stats() const {
   TransportStats s;
-  s.connections_accepted = connections_.load(std::memory_order_relaxed);
-  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
-  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
-  s.overflow_closed = overflow_closed_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_.value();
+  s.idle_closed = idle_closed_.value();
+  s.accept_backoffs = accept_backoffs_.value();
+  s.overflow_closed = overflow_closed_.value();
   return s;
 }
 
@@ -257,7 +270,7 @@ void EpollServer::accept_ready(Reactor& r, std::uint64_t now) {
         // fd exhaustion: nothing frees up instantly, so park the listener
         // for a backoff interval (pending peers wait in the listen backlog)
         // and let the timer wheel re-arm it.
-        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        accept_backoffs_.inc();
         log_warn("serve: accept failed (fd exhaustion, backing off): ",
                  std::strerror(errno));
         if (listener_armed_) {
@@ -276,7 +289,7 @@ void EpollServer::accept_ready(Reactor& r, std::uint64_t now) {
       return;
     }
     net::enable_nodelay(fd);
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_.inc();
     Reactor& target = *reactors_[next_shard_];
     next_shard_ = (next_shard_ + 1) % reactors_.size();
     if (&target == &r) {
@@ -416,13 +429,16 @@ bool EpollServer::parse_frames(Reactor& r, Conn& c) {
     const Status parsed = decode_query(payload, req, &reason);
     const std::uint64_t seq = c.next_seq++;
     if (parsed != Status::Ok) {
-      c.ready.emplace(seq, frame_bytes(encode_error_reply(parsed, reason)));
+      OutFrame out;
+      out.bytes = frame_bytes(encode_error_reply(parsed, reason));
+      c.ready.emplace(seq, std::move(out));
     } else if (!valid_feature_indices(req, input_dim)) {
-      c.ready.emplace(
-          seq, frame_bytes(encode_error_reply(
-                   Status::BadRequest,
-                   "feature indices must be strictly increasing "
-                   "and below the model input dim")));
+      OutFrame out;
+      out.bytes = frame_bytes(encode_error_reply(
+          Status::BadRequest,
+          "feature indices must be strictly increasing "
+          "and below the model input dim"));
+      c.ready.emplace(seq, std::move(out));
     } else {
       ++c.in_flight;
       submit_query(r, c, seq, req);
@@ -461,7 +477,14 @@ void EpollServer::submit_query(Reactor& r, Conn& c, std::uint64_t seq,
         faults.maybe_delay(util::FaultPoint::SocketStall);
       }
     }
-    if (!node->drop) node->frame = frame_bytes(encode_reply_payload(reply));
+    if (!node->drop) {
+      node->frame.bytes = frame_bytes(encode_reply_payload(reply));
+      node->frame.encoded = std::chrono::steady_clock::now();
+      node->frame.timing = reply.timing;
+      node->frame.status = reply.status;
+      node->frame.degraded = reply.degraded;
+      node->frame.timed = reply.timing.stamped();
+    }
     push_completion(*rp, node);
   });
 }
@@ -511,16 +534,16 @@ void EpollServer::process_completions(Reactor& r) {
 
 bool EpollServer::flush_ready(Reactor& r, Conn& c) {
   while (!c.ready.empty() && c.ready.begin()->first == c.next_flush_seq) {
-    std::vector<std::uint8_t> buf = std::move(c.ready.begin()->second);
+    OutFrame buf = std::move(c.ready.begin()->second);
     c.ready.erase(c.ready.begin());
     ++c.next_flush_seq;
-    c.wq_bytes += buf.size();
+    c.wq_bytes += buf.bytes.size();
     c.wq.push_back(std::move(buf));
   }
   if (c.wq_bytes > config_.max_write_backlog_bytes) {
     // The peer stopped reading while replies kept coming; cut it loose
     // before its backlog grows server memory without bound.
-    overflow_closed_.fetch_add(1, std::memory_order_relaxed);
+    overflow_closed_.inc();
     log_warn("serve: dropping connection: write backlog over cap");
     close_conn(r, c);
     return false;
@@ -530,9 +553,9 @@ bool EpollServer::flush_ready(Reactor& r, Conn& c) {
 
 bool EpollServer::try_flush_writes(Reactor& r, Conn& c) {
   while (!c.wq.empty()) {
-    const std::vector<std::uint8_t>& front = c.wq.front();
-    const ssize_t put = ::send(c.fd, front.data() + c.wq_off, front.size() - c.wq_off,
-                               MSG_NOSIGNAL);
+    const OutFrame& front = c.wq.front();
+    const ssize_t put = ::send(c.fd, front.bytes.data() + c.wq_off,
+                               front.bytes.size() - c.wq_off, MSG_NOSIGNAL);
     if (put < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT resumes
@@ -541,7 +564,14 @@ bool EpollServer::try_flush_writes(Reactor& r, Conn& c) {
     }
     c.wq_off += static_cast<std::size_t>(put);
     c.wq_bytes -= static_cast<std::size_t>(put);
-    if (c.wq_off == front.size()) {
+    if (c.wq_off == front.bytes.size()) {
+      // The frame's last byte is in the kernel: close the trace here (write
+      // stage includes the reactor handoff and any reorder wait).
+      if (front.timed) {
+        telemetry_.observe(front.timing, front.encoded,
+                           std::chrono::steady_clock::now(), front.status,
+                           front.degraded);
+      }
       c.wq.pop_front();
       c.wq_off = 0;
     }
@@ -577,7 +607,7 @@ void EpollServer::advance_timers(Reactor& r, std::uint64_t now) {
     const std::uint64_t deadline =
         c.last_activity_ms + static_cast<std::uint64_t>(config_.idle_timeout_ms);
     if (now >= deadline) {
-      idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      idle_closed_.inc();
       log_info("serve: closing idle connection");
       close_conn(r, c);
     } else {

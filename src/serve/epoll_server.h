@@ -80,13 +80,25 @@ class EpollServer final : public ServerTransport {
   int reactor_count() const { return static_cast<int>(reactors_.size()); }
 
  private:
+  // One outbound frame plus the trace context needed to record the write
+  // stage when its last byte leaves.  Locally answered frames (parse errors,
+  // bad indices) never saw the engine and carry timed=false.
+  struct OutFrame {
+    std::vector<std::uint8_t> bytes;  // length-prefixed wire bytes
+    RequestTiming timing;
+    std::chrono::steady_clock::time_point encoded{};
+    RequestStatus status = RequestStatus::Ok;
+    bool degraded = false;
+    bool timed = false;
+  };
+
   // One reply travelling from an engine thread back to the owning reactor.
   struct Completion {
     Completion* next = nullptr;
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     bool drop = false;  // sock-drop fault: close the connection unanswered
-    std::vector<std::uint8_t> frame;  // length-prefixed wire bytes
+    OutFrame frame;
   };
 
   struct Conn {
@@ -103,12 +115,12 @@ class EpollServer final : public ServerTransport {
     // contiguous sequence can enter the write queue.
     std::uint64_t next_seq = 0;
     std::uint64_t next_flush_seq = 0;
-    std::map<std::uint64_t, std::vector<std::uint8_t>> ready;
+    std::map<std::uint64_t, OutFrame> ready;
     std::size_t in_flight = 0;  // submitted to the core, completion not yet seen
 
     // Write side: whole frames, flushed front-first; wq_off is the sent
     // prefix of the front frame.
-    std::deque<std::vector<std::uint8_t>> wq;
+    std::deque<OutFrame> wq;
     std::size_t wq_bytes = 0;
     std::size_t wq_off = 0;
 
@@ -153,6 +165,13 @@ class EpollServer final : public ServerTransport {
 
   BatchingServer& server_;
   const TransportConfig config_;
+  // Wire counters live in the server's registry (one expose() covers core +
+  // transport); the references are just hot-path handles.
+  obs::Counter& connections_;
+  obs::Counter& idle_closed_;
+  obs::Counter& accept_backoffs_;
+  obs::Counter& overflow_closed_;
+  WireTelemetry telemetry_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   bool listener_armed_ = false;  // reactor-0 state: registered in its epoll
@@ -163,11 +182,6 @@ class EpollServer final : public ServerTransport {
   std::atomic<bool> stopping_{false};
   std::mutex stop_mutex_;
   std::atomic<std::uint64_t> next_conn_id_;
-
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> idle_closed_{0};
-  std::atomic<std::uint64_t> accept_backoffs_{0};
-  std::atomic<std::uint64_t> overflow_closed_{0};
 };
 
 }  // namespace slide::serve

@@ -20,7 +20,16 @@ namespace slide::serve {
 using net::IoResult;
 
 TcpServer::TcpServer(BatchingServer& server, TransportConfig config)
-    : server_(server), config_(std::move(config)) {
+    : server_(server),
+      config_(std::move(config)),
+      connections_(server.metrics().counter("slide_connections_total",
+                                            "Connections accepted")),
+      idle_closed_(server.metrics().counter("slide_connections_idle_closed_total",
+                                            "Connections closed for idleness")),
+      accept_backoffs_(server.metrics().counter(
+          "slide_accept_backoffs_total",
+          "accept() backoffs after fd exhaustion (EMFILE/ENFILE)")),
+      telemetry_(server.metrics(), config_.trace_sample) {
   listen_fd_ =
       net::create_listener(config_.bind_address, config_.port, config_.backlog, &port_);
 }
@@ -61,9 +70,9 @@ void TcpServer::stop() {
 
 TransportStats TcpServer::stats() const {
   TransportStats s;
-  s.connections_accepted = connections_.load(std::memory_order_relaxed);
-  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
-  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_.value();
+  s.idle_closed = idle_closed_.value();
+  s.accept_backoffs = accept_backoffs_.value();
   return s;
 }
 
@@ -78,7 +87,7 @@ void TcpServer::accept_main() {
         // fd exhaustion: nothing frees up instantly, so back off long
         // enough for a connection to close rather than spinning on the
         // full table (the pending peer waits in the listen backlog).
-        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        accept_backoffs_.inc();
         log_warn("serve: accept failed (fd exhaustion, backing off): ",
                  std::strerror(errno));
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -94,7 +103,7 @@ void TcpServer::accept_main() {
       return;
     }
     net::enable_nodelay(fd);
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_.inc();
     std::lock_guard<std::mutex> lock(conn_mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
@@ -115,7 +124,7 @@ void TcpServer::connection_main(int fd) {
     for (;;) {
       const IoResult got = net::read_frame(fd, payload, idle_ms);
       if (got == IoResult::Timeout) {
-        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        idle_closed_.inc();
         log_info("serve: closing idle connection");
         break;
       }
@@ -147,7 +156,14 @@ void TcpServer::connection_main(int fd) {
         }
         faults.maybe_delay(util::FaultPoint::SocketStall);
       }
-      if (!net::write_frame(fd, encode_reply_payload(reply), idle_ms)) break;
+      // Trace stages: encode covers inference-done -> frame ready (including
+      // the future wakeup handoff onto this thread), write covers the socket
+      // send of the last byte.
+      const std::vector<std::uint8_t> frame = encode_reply_payload(reply);
+      const auto encoded = std::chrono::steady_clock::now();
+      if (!net::write_frame(fd, frame, idle_ms)) break;
+      telemetry_.observe(reply.timing, encoded, std::chrono::steady_clock::now(),
+                         reply.status, reply.degraded);
     }
   } catch (const std::exception& e) {
     log_warn("serve: dropping connection: ", e.what());

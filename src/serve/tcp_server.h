@@ -66,12 +66,8 @@ class TcpServer final : public ServerTransport {
 
   TransportStats stats() const override;
 
-  std::uint64_t connections_accepted() const {
-    return connections_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t idle_closed() const {
-    return idle_closed_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t connections_accepted() const { return connections_.value(); }
+  std::uint64_t idle_closed() const { return idle_closed_.value(); }
 
  private:
   void accept_main();
@@ -79,13 +75,16 @@ class TcpServer final : public ServerTransport {
 
   BatchingServer& server_;
   const TransportConfig config_;
+  // Wire counters live in the server's registry (one expose() covers core +
+  // transport); the references are just hot-path handles.
+  obs::Counter& connections_;
+  obs::Counter& idle_closed_;
+  obs::Counter& accept_backoffs_;
+  WireTelemetry telemetry_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 
   std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> idle_closed_{0};
-  std::atomic<std::uint64_t> accept_backoffs_{0};
   std::mutex stop_mutex_;  // serializes concurrent stop() calls on the joins
   std::thread accept_thread_;
   std::mutex conn_mutex_;            // guards open_fds_ / threads_

@@ -15,11 +15,13 @@
 // `serve --transport {threads,epoll}`.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/batching_server.h"
 #include "serve/protocol.h"
 
@@ -50,6 +52,10 @@ struct TransportConfig {
   // before force-closing them.  The engine-side answer always completes;
   // this only bounds delivery.
   int drain_timeout_ms = 5000;
+
+  // Emit one structured trace line for 1 out of every N answered requests
+  // (stage-by-stage latency; see RequestTiming).  0 disables tracing.
+  std::uint32_t trace_sample = 0;
 };
 
 struct TransportStats {
@@ -96,5 +102,37 @@ std::vector<std::uint8_t> encode_reply_payload(const Reply& reply);
 // increasing (the engine's sparse kernels index weight rows with them
 // unchecked — a wild index from the wire would read out of the arena).
 bool valid_feature_indices(const QueryRequest& req, std::size_t input_dim);
+
+// Wire-level stage telemetry shared by both transports: extends the
+// server-side trace (queue, infer) with encode, write, and end-to-end
+// histograms, and emits the sampled per-request trace lines.  Registers its
+// series in the server's registry so one expose() covers the whole path.
+// Thread-safe; observe() is two histogram records plus an atomic tick.
+class WireTelemetry {
+ public:
+  WireTelemetry(obs::MetricsRegistry& metrics, std::uint32_t trace_sample);
+
+  // Records the transport stages for one answered request.  `encoded` is
+  // when the reply frame was fully encoded, `written` when its last byte
+  // was handed to the kernel.  Replies the engine never answered (rejected
+  // at admission, expired, transport-level errors) carry no timing and are
+  // skipped — the stage histograms partition exactly the Ok latency.
+  void observe(const RequestTiming& timing,
+               std::chrono::steady_clock::time_point encoded,
+               std::chrono::steady_clock::time_point written,
+               RequestStatus status, bool degraded);
+
+ private:
+  obs::Histogram& encode_us_;
+  obs::Histogram& write_us_;
+  obs::Histogram& e2e_us_;
+  obs::TraceSampler sampler_;
+};
+
+// One shared rendering of the end-of-run serving stats (slide_cli serve's
+// shutdown report and bench_serving_latency's chaos summary print the same
+// lines).  Includes the transport line only when `tstats` is non-null.
+std::string format_server_stats(const ServerStats& stats,
+                                const TransportStats* tstats = nullptr);
 
 }  // namespace slide::serve

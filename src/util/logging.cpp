@@ -1,13 +1,29 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace slide {
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Info};
+
+constexpr LogLevel kUnset = static_cast<LogLevel>(-1);
+
+// kUnset until either set_log_level() or the first SLIDE_LOG lookup.
+std::atomic<LogLevel> g_level{kUnset};
 std::mutex g_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SLIDE_LOG");
+  if (env != nullptr) {
+    if (auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "[slide WARN ] ignoring unknown SLIDE_LOG=%s\n", env);
+  }
+  return LogLevel::Info;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,28 +34,67 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+
+// Seconds since the first log call (not process start: a steady epoch needs
+// an anchoring read, and the first line is where anyone starts reading).
+double uptime_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel log_level() {
+  LogLevel level = g_level.load(std::memory_order_relaxed);
+  if (level != kUnset) return level;
+  // First call: resolve SLIDE_LOG once.  A concurrent set_log_level() wins
+  // the exchange and this thread adopts whatever is stored.
+  LogLevel from_env = level_from_env();
+  if (g_level.compare_exchange_strong(level, from_env, std::memory_order_relaxed)) {
+    return from_env;
+  }
+  return level;
+}
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
 namespace detail {
+
+std::string format_line(LogLevel level, double uptime, const std::string& message) {
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[slide %s +%.6f] ", level_name(level), uptime);
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += prefix;
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   // The serving path logs from engine workers, connection handlers and the
   // accept loop at once.  Format the whole line first, then emit it as one
   // fwrite under the mutex: a single write keeps lines intact even if some
   // other code bypasses the lock and writes stderr directly.
-  std::string line;
-  line.reserve(message.size() + 16);
-  line += "[slide ";
-  line += level_name(level);
-  line += "] ";
-  line += message;
-  line += '\n';
+  const std::string line = format_line(level, uptime_seconds(), message);
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
 }
+
 }  // namespace detail
 
 }  // namespace slide

@@ -1,12 +1,19 @@
 // Tiny leveled logger.  Kept deliberately minimal: the training loops log
 // epoch summaries through this so examples/benches can silence them.
 //
+// The effective level comes from set_log_level() when called, otherwise from
+// the SLIDE_LOG environment variable (debug|info|warn|error|off, read once),
+// otherwise Info.  Every line carries a monotonic timestamp (seconds since
+// the first log call) so sampled request traces and error logs interleave
+// legibly: `[slide INFO  +12.345678] msg`.
+//
 // Thread-safe: the level is an atomic and each line is formatted off-lock,
 // then written to stderr as a single mutex-guarded fwrite — concurrent
 // callers (server workers, the TCP accept loop, pool threads) never
 // interleave characters within a line.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,12 +21,21 @@ namespace slide {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
+// Explicit override; wins over SLIDE_LOG from the first call on.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// "debug"/"info"/"warn"/"error"/"off" (case-insensitive) -> level;
+// nullopt on anything else.  Exposed for the CLI and tests.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& message);
-}
+// Formats one complete line (including the trailing newline) with the given
+// monotonic timestamp — the pure half of log_line, exposed for tests.
+std::string format_line(LogLevel level, double uptime_seconds,
+                        const std::string& message);
+}  // namespace detail
 
 template <typename... Args>
 void log(LogLevel level, const Args&... args) {

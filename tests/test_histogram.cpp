@@ -90,6 +90,57 @@ TEST(Histogram, QuantilesAreOrdered) {
   EXPECT_LE(s.p99(), s.max);
 }
 
+TEST(Histogram, EmptySnapshotQuantilesAreZero) {
+  ShardedHistogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.0), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0u);
+  EXPECT_EQ(s.quantile(1.0), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleDominatesEveryQuantile) {
+  ShardedHistogram h;
+  h.record(777);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 777u);
+  // One sample: every quantile is that sample (clamped to max, so exact
+  // even though 777 lands in a log-linear bucket).
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.quantile(q), 777u) << q;
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 777.0);
+}
+
+TEST(Histogram, SnapshotUnderConcurrentRecordStaysCoherent) {
+  // snapshot() is documented as non-linearizable against writers; what it
+  // must still guarantee is internal coherence: ordered quantiles, a count
+  // no larger than what was issued, and max no larger than the largest
+  // value any writer could have recorded.
+  ShardedHistogram h;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) h.record(i);
+    });
+  }
+  for (int probe = 0; probe < 50; ++probe) {
+    const HistogramSnapshot s = h.snapshot();
+    EXPECT_LE(s.count, kThreads * kPerThread);
+    EXPECT_LE(s.max, kPerThread);
+    EXPECT_LE(s.p50(), s.p95());
+    EXPECT_LE(s.p95(), s.p99());
+    EXPECT_LE(s.p99(), s.max);
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, kPerThread);
+}
+
 TEST(Histogram, ConcurrentRecordersLoseNothing) {
   ShardedHistogram h;
   constexpr unsigned kThreads = 8;

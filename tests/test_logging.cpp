@@ -1,0 +1,48 @@
+// Log-level parsing and the pure line formatter of util/logging.h.
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace slide {
+namespace {
+
+TEST(Logging, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  // Case-insensitive (env vars get typed by humans).
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(Logging, FormatLineCarriesLevelAndMonotonicTimestamp) {
+  EXPECT_EQ(detail::format_line(LogLevel::Warn, 1.5, "hello"),
+            "[slide WARN  +1.500000] hello\n");
+  EXPECT_EQ(detail::format_line(LogLevel::Debug, 0.0, "x"),
+            "[slide DEBUG +0.000000] x\n");
+  EXPECT_EQ(detail::format_line(LogLevel::Info, 12.345678, "msg"),
+            "[slide INFO  +12.345678] msg\n");
+  EXPECT_EQ(detail::format_line(LogLevel::Error, 0.000001, ""),
+            "[slide ERROR +0.000001] \n");
+}
+
+TEST(Logging, SetLogLevelWinsOverEnvironment) {
+  // set_log_level is the explicit override; log_level() must reflect it
+  // regardless of what SLIDE_LOG said at first resolution.
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Info);
+  EXPECT_EQ(log_level(), LogLevel::Info);
+}
+
+}  // namespace
+}  // namespace slide

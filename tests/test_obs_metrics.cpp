@@ -1,0 +1,224 @@
+// Registry semantics and Prometheus text-exposition coverage for src/obs/,
+// plus a live scrape of the /metrics HTTP listener over a loopback socket.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/trace.h"
+
+namespace slide::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("slide_test_total", "test counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge& g = reg.gauge("slide_test_gauge", "test gauge");
+  g.set(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+
+  Histogram& h = reg.histogram("slide_test_us", "test histogram");
+  h.record(10);
+  h.record(20);
+  const util::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum, 30u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("slide_dup_total", "help", {{"stage", "queue"}});
+  Counter& b = reg.counter("slide_dup_total", "different help ignored",
+                           {{"stage", "queue"}});
+  EXPECT_EQ(&a, &b);
+  // A different label value is a different series in the same family.
+  Counter& c = reg.counter("slide_dup_total", "help", {{"stage", "infer"}});
+  EXPECT_NE(&a, &c);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("slide_conflict", "as counter");
+  EXPECT_THROW(reg.gauge("slide_conflict", "as gauge"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("slide_conflict", "as histogram"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, InvalidNamesThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("1starts_with_digit", "h"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-dash", "h"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("", "h"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("ok_name", "h", {{"bad-label", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("ok_name", "h", {{"1bad", "v"}}), std::invalid_argument);
+  // Colons are legal in metric names (recording-rule convention), and
+  // label VALUES may contain anything (they get escaped).
+  EXPECT_NO_THROW(reg.counter("ns:ok_name", "h", {{"path", "/metrics \"x\"\n"}}));
+}
+
+TEST(MetricsRegistry, EscapingRules) {
+  EXPECT_EQ(detail::escape_label_value("plain"), "plain");
+  EXPECT_EQ(detail::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(detail::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(detail::escape_label_value("a\nb"), "a\\nb");
+  // HELP text escapes backslash and newline but NOT quotes.
+  EXPECT_EQ(detail::escape_help("a\"b"), "a\"b");
+  EXPECT_EQ(detail::escape_help("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_TRUE(detail::valid_metric_name("slide_requests_total"));
+  EXPECT_TRUE(detail::valid_metric_name("ns:name"));
+  EXPECT_FALSE(detail::valid_metric_name("0bad"));
+  EXPECT_TRUE(detail::valid_label_name("stage"));
+  EXPECT_FALSE(detail::valid_label_name("ns:name"));  // no colons in label names
+}
+
+TEST(MetricsRegistry, ExposesPrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("slide_req_total", "Requests served", {{"stage", "queue"}}).inc(3);
+  reg.counter("slide_req_total", "Requests served", {{"stage", "infer"}}).inc(1);
+  reg.gauge("slide_depth", "Queue depth").set(7.5);
+  Histogram& h = reg.histogram("slide_lat_us", "Latency");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<std::uint64_t>(i));
+
+  const std::string text = reg.expose();
+  // One HELP/TYPE pair per family, before its samples.
+  EXPECT_NE(text.find("# HELP slide_req_total Requests served\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE slide_req_total counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE slide_req_total counter"),
+            text.rfind("# TYPE slide_req_total counter"));
+  EXPECT_NE(text.find("slide_req_total{stage=\"queue\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("slide_req_total{stage=\"infer\"} 1\n"), std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE slide_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("slide_depth 7.5\n"), std::string::npos);
+
+  // Histograms render as summaries: quantile series + _sum + _count.
+  EXPECT_NE(text.find("# TYPE slide_lat_us summary\n"), std::string::npos);
+  EXPECT_NE(text.find("slide_lat_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("slide_lat_us{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("slide_lat_us_sum 5050\n"), std::string::npos);
+  EXPECT_NE(text.find("slide_lat_us_count 100\n"), std::string::npos);
+
+  // HELP precedes TYPE precedes the first sample of each family.
+  const auto help_pos = text.find("# HELP slide_lat_us");
+  const auto type_pos = text.find("# TYPE slide_lat_us");
+  const auto sample_pos = text.find("slide_lat_us{quantile");
+  ASSERT_NE(help_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+  EXPECT_LT(type_pos, sample_pos);
+}
+
+TEST(MetricsRegistry, ExposeEscapesLabelValuesAndHelp) {
+  MetricsRegistry reg;
+  reg.counter("slide_esc_total", "line1\nline2 back\\slash",
+              {{"path", "a\"b\\c\nd"}})
+      .inc();
+  const std::string text = reg.expose();
+  EXPECT_NE(text.find("# HELP slide_esc_total line1\\nline2 back\\\\slash\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("slide_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, DisabledRegistryIsANoOp) {
+  MetricsRegistry reg(false);
+  EXPECT_FALSE(reg.enabled());
+  Counter& c = reg.counter("slide_off_total", "h");
+  Gauge& g = reg.gauge("slide_off_gauge", "h");
+  Histogram& h = reg.histogram("slide_off_us", "h");
+  c.inc(100);
+  g.set(5.0);
+  g.add(1.0);
+  h.record(42);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  // Exposition still renders the (zero) series — scrapers see a stable set.
+  EXPECT_NE(reg.expose().find("slide_off_total 0\n"), std::string::npos);
+}
+
+TEST(TraceSampler, RateSemantics) {
+  TraceSampler off(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(off.should_sample());
+
+  TraceSampler always(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(always.should_sample());
+
+  TraceSampler quarter(4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += quarter.should_sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+}
+
+// Raw HTTP round trip: connect, send `request`, read to server-side close.
+std::string http_round_trip(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServer, ServesExpositionAndErrors) {
+  MetricsRegistry reg;
+  reg.counter("slide_http_test_total", "scraped counter").inc(3);
+  MetricsHttpServer server(reg, "127.0.0.1", 0);
+  ASSERT_GT(server.port(), 0);
+  server.start();
+
+  const std::string ok = http_round_trip(
+      server.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("# TYPE slide_http_test_total counter"), std::string::npos);
+  EXPECT_NE(ok.find("slide_http_test_total 3"), std::string::npos);
+  // The listener counts its own scrapes into the same registry.
+  EXPECT_NE(ok.find("slide_metrics_scrapes_total"), std::string::npos);
+
+  const std::string not_found = http_round_trip(
+      server.port(), "GET /other HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(not_found.find("404"), std::string::npos);
+
+  const std::string bad_method = http_round_trip(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(bad_method.find("405"), std::string::npos);
+
+  // A query string is stripped before path matching.
+  const std::string with_query = http_round_trip(
+      server.port(), "GET /metrics?format=text HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(with_query.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  server.stop();
+  server.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace slide::obs

@@ -42,6 +42,8 @@
 #include "infer/engine.h"
 #include "infer/packed_model.h"
 #include "kernels/kernels.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "serve/batching_server.h"
 #include "serve/tcp_server.h"
 #include "serve/transport.h"
@@ -148,6 +150,9 @@ int cmd_train(int argc, const char* const* argv) {
   args.add_int("chunk-mb", 8, "streaming chunk size in MiB");
   args.add_int("prefetch", 2, "streaming prefetch depth (parser threads + queue window)");
   args.add_int("threads", 0, "worker threads (default: all hardware threads)");
+  args.add_int("metrics-port", -1,
+               "expose training metrics at /metrics on 127.0.0.1:<port> "
+               "(-1 = off, 0 = ephemeral; the bound port is printed)");
   cli::add_isa_flag(args);
   args.add_int("seed", 42, "random seed");
   args.add_flag("linear-hidden", "use a linear (word2vec-style) hidden layer");
@@ -234,6 +239,18 @@ int cmd_train(int argc, const char* const* argv) {
   tcfg.shuffle = shuffle == "none" ? ShuffleMode::None
                  : shuffle == "examples" ? ShuffleMode::Examples
                                          : ShuffleMode::Batches;
+
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+  if (args.get_int("metrics-port") >= 0) {
+    tcfg.metrics = &obs::MetricsRegistry::global();
+    metrics_http = std::make_unique<obs::MetricsHttpServer>(
+        obs::MetricsRegistry::global(), "127.0.0.1",
+        static_cast<std::uint16_t>(args.get_int("metrics-port")));
+    metrics_http->start();
+    std::printf("metrics on 127.0.0.1:%u\n", metrics_http->port());
+    std::fflush(stdout);
+  }
+
   Trainer trainer(net, tcfg);
   const TrainResult result =
       streaming ? trainer.train(*stream, test) : trainer.train(train, test);
@@ -489,6 +506,11 @@ int cmd_serve(int argc, const char* const* argv) {
   args.add_int("degrade-p99-us", 0, "p99 latency that also trips degradation (0 = off)");
   args.add_flag("no-degrade", "never downgrade dense top-k under load");
   args.add_string("faults", "", "fault-injection spec (same syntax as SLIDE_FAULTS)");
+  args.add_int("metrics-port", -1,
+               "expose Prometheus metrics at /metrics on <bind>:<port> "
+               "(-1 = off, 0 = ephemeral; the bound port is printed)");
+  args.add_int("trace-sample", 0,
+               "log one per-stage request trace every N completed requests (0 = off)");
   args.add_int("threads", 0, "worker threads");
   cli::add_isa_flag(args);
   if (help_requested(args, argc, argv)) return 0;
@@ -523,6 +545,10 @@ int cmd_serve(int argc, const char* const* argv) {
   }
   if (args.get_int("port") < 0 || args.get_int("port") > 65535) {
     std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return kServeExitUsage;
+  }
+  if (args.get_int("metrics-port") > 65535) {
+    std::fprintf(stderr, "error: --metrics-port must be in [0, 65535] (or -1 = off)\n");
     return kServeExitUsage;
   }
   if (!args.get_string("faults").empty()) {
@@ -565,6 +591,9 @@ int cmd_serve(int argc, const char* const* argv) {
   scfg.pressure.degrade_p99_us = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, args.get_int("degrade-p99-us")));
   scfg.pressure.allow_degrade = !args.get_flag("no-degrade");
+  // One process-global registry: the batching core, the wire transport, and
+  // the /metrics listener all see the same families.
+  scfg.metrics = &obs::MetricsRegistry::global();
   serve::BatchingServer server(engine, scfg);
 
   serve::TransportConfig tcfg;
@@ -577,6 +606,8 @@ int cmd_serve(int argc, const char* const* argv) {
     tcfg.max_write_backlog_bytes =
         static_cast<std::size_t>(args.get_int("write-cap-bytes"));
   }
+  tcfg.trace_sample = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, args.get_int("trace-sample")));
   std::unique_ptr<serve::ServerTransport> tcp;
   try {
     tcp = serve::make_transport(transport, server, tcfg);
@@ -595,9 +626,26 @@ int cmd_serve(int argc, const char* const* argv) {
            " idle-timeout-ms=", tcfg.idle_timeout_ms,
            " transport=", serve::transport_name(transport));
 
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+  if (args.get_int("metrics-port") >= 0) {
+    try {
+      metrics_http = std::make_unique<obs::MetricsHttpServer>(
+          obs::MetricsRegistry::global(), tcfg.bind_address,
+          static_cast<std::uint16_t>(args.get_int("metrics-port")));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot bind metrics port: %s\n", e.what());
+      return kServeExitBindFailure;
+    }
+    metrics_http->start();
+  }
+
   tcp->start();
   // The port line is the startup handshake scripts wait for (CI greps it).
   std::printf("serving on %s:%u\n", tcfg.bind_address.c_str(), tcp->port());
+  if (metrics_http != nullptr) {
+    std::printf("metrics on %s:%u\n", metrics_http->bind_address().c_str(),
+                metrics_http->port());
+  }
   std::fflush(stdout);
 
   while (g_shutdown_signal == 0) {
@@ -606,28 +654,11 @@ int cmd_serve(int argc, const char* const* argv) {
   log_info("serve: shutdown signal received; draining");
   tcp->stop();  // joins connections, then drains the batching core
 
+  if (metrics_http != nullptr) metrics_http->stop();
+
   const serve::ServerStats stats = server.stats();
   const serve::TransportStats tstats = tcp->stats();
-  std::printf("served %llu queries in %llu batches (avg batch %.1f), rejected %llu, "
-              "shed %llu, expired %llu, degraded %llu, errors %llu, connections %llu\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.batches), stats.avg_batch_size,
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.shed),
-              static_cast<unsigned long long>(stats.expired),
-              static_cast<unsigned long long>(stats.degraded),
-              static_cast<unsigned long long>(stats.errors),
-              static_cast<unsigned long long>(tstats.connections_accepted));
-  std::printf("transport: idle-closed %llu, accept-backoffs %llu, overflow-closed %llu\n",
-              static_cast<unsigned long long>(tstats.idle_closed),
-              static_cast<unsigned long long>(tstats.accept_backoffs),
-              static_cast<unsigned long long>(tstats.overflow_closed));
-  std::printf("latency us: p50=%llu p95=%llu p99=%llu max=%llu (queue p50=%llu)\n",
-              static_cast<unsigned long long>(stats.total_us.p50()),
-              static_cast<unsigned long long>(stats.total_us.p95()),
-              static_cast<unsigned long long>(stats.total_us.p99()),
-              static_cast<unsigned long long>(stats.total_us.max),
-              static_cast<unsigned long long>(stats.queue_us.p50()));
+  std::fputs(serve::format_server_stats(stats, &tstats).c_str(), stdout);
   return 0;
 }
 
